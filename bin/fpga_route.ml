@@ -1,0 +1,286 @@
+(* Command-line front end for the FPGA routing library.
+
+   Subcommands:
+     route     route a benchmark circuit at a given channel width
+     width     find a circuit's minimum channel width
+     table     regenerate one of the paper's tables (1-5, or "baseline")
+     figure    regenerate one of the paper's figures (3,4,6,10,11,13,14,16)
+     circuits  list the benchmark circuit specifications
+     net       route one random net on a congested grid with every algorithm *)
+
+module F = Fr_fpga
+module C = Fr_core
+module G = Fr_graph
+open Cmdliner
+
+let alg_conv =
+  let parse s =
+    match C.Routing_alg.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S (try KMB, IKMB, PFA, IDOM...)" s))
+  in
+  let print fmt (a : C.Routing_alg.t) = Format.pp_print_string fmt a.C.Routing_alg.name in
+  Arg.conv (parse, print)
+
+let spec_conv =
+  let parse s =
+    match F.Circuits.find_spec s with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "unknown circuit %S (see `fpga_route circuits`)" s))
+  in
+  let print fmt (s : F.Circuits.spec) = Format.pp_print_string fmt s.F.Circuits.circuit in
+  Arg.conv (parse, print)
+
+let alg_arg =
+  Arg.(value & opt alg_conv C.Routing_alg.ikmb & info [ "a"; "alg" ] ~docv:"ALG" ~doc:"Routing algorithm.")
+
+let passes_arg =
+  Arg.(value & opt int 20 & info [ "passes" ] ~docv:"N" ~doc:"Maximum rip-up passes.")
+
+let spec_arg = Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"CIRCUIT")
+
+(* ---------------- route ---------------- *)
+
+let run_route spec width alg passes render =
+  let circuit = F.Circuits.generate spec in
+  let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
+  let config = F.Router.config_with ~alg ~max_passes:passes () in
+  match F.Router.route ~config rrg circuit with
+  | Ok stats ->
+      print_endline (F.Render.summary rrg stats);
+      if render then print_endline (F.Render.occupancy_map rrg);
+      0
+  | Error f ->
+      Printf.printf "unroutable at W=%d: %d nets still failing after %d passes\n" width
+        (List.length f.F.Router.failed_nets)
+        f.F.Router.passes_tried;
+      1
+
+let route_cmd =
+  let width = Arg.(value & opt int 10 & info [ "w"; "width" ] ~docv:"W" ~doc:"Channel width.") in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"Print the occupancy map.") in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route a benchmark circuit at a fixed channel width")
+    Term.(const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ render)
+
+(* ---------------- width ---------------- *)
+
+let run_width spec alg passes start =
+  let circuit = F.Circuits.generate spec in
+  let config = F.Router.config_with ~alg ~max_passes:passes () in
+  let arch_of_width w = F.Circuits.arch_for spec ~channel_width:w in
+  let start =
+    match start with
+    | Some s -> s
+    | None -> (
+        match spec.F.Circuits.published.F.Circuits.ours_ikmb with Some w -> w | None -> 10)
+  in
+  match F.Router.min_channel_width ~config ~arch_of_width ~circuit ~start () with
+  | Some (w, stats) ->
+      Printf.printf "%s: minimum channel width %d with %s (%d passes, wirelength %.0f)\n"
+        spec.F.Circuits.circuit w alg.C.Routing_alg.name stats.F.Router.passes
+        stats.F.Router.total_wirelength;
+      let p = spec.F.Circuits.published in
+      let show label = function Some v -> Printf.printf "  %s: %d\n" label v | None -> () in
+      show "paper (IKMB)" p.F.Circuits.ours_ikmb;
+      show "CGE" p.F.Circuits.cge;
+      show "SEGA" p.F.Circuits.sega;
+      show "GBP" p.F.Circuits.gbp;
+      0
+  | None ->
+      Printf.printf "%s: no feasible width found in the probed range\n" spec.F.Circuits.circuit;
+      1
+
+let width_cmd =
+  let start =
+    Arg.(value & opt (some int) None & info [ "start" ] ~docv:"W" ~doc:"Initial width probe.")
+  in
+  Cmd.v
+    (Cmd.info "width" ~doc:"Find a circuit's minimum routable channel width")
+    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ start)
+
+(* ---------------- table ---------------- *)
+
+let run_table which quick =
+  let nets_per_config = if quick then 10 else 50 in
+  let max_passes = if quick then 8 else 20 in
+  let config = F.Router.config_with ~max_passes () in
+  (match which with
+  | "1" -> Fr_util.Tab.print (Fr_exp.Table1.to_table (Fr_exp.Table1.run ~nets_per_config ()))
+  | "2" -> Fr_util.Tab.print (Fr_exp.Router_tables.table2_to_table (Fr_exp.Router_tables.table2 ~config ()))
+  | "3" -> Fr_util.Tab.print (Fr_exp.Router_tables.table3_to_table (Fr_exp.Router_tables.table3 ~config ()))
+  | "4" ->
+      Fr_util.Tab.print
+        (Fr_exp.Router_tables.table4_to_table (Fr_exp.Router_tables.table4 ~max_passes ()))
+  | "5" ->
+      let t4 = Fr_exp.Router_tables.table4 ~max_passes () in
+      Fr_util.Tab.print (Fr_exp.Router_tables.table5_to_table (Fr_exp.Router_tables.table5 ~max_passes t4))
+  | "baseline" ->
+      Fr_util.Tab.print
+        (Fr_exp.Router_tables.baseline_to_table (Fr_exp.Router_tables.baseline ~max_passes ()))
+  | other -> Printf.printf "unknown table %s (expected 1-5 or baseline)\n" other);
+  0
+
+let table_cmd =
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"TABLE") in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads, fewer passes.") in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-5, baseline)")
+    Term.(const run_table $ which $ quick)
+
+(* ---------------- figure ---------------- *)
+
+let run_figure which =
+  let text =
+    match which with
+    | "3" -> Fr_exp.Figures.fig3 ()
+    | "4" -> Fr_exp.Figures.fig4 ()
+    | "6" -> Fr_exp.Figures.fig6 ()
+    | "10" -> Fr_exp.Figures.fig10 ()
+    | "11" -> Fr_exp.Figures.fig11 ()
+    | "13" -> Fr_exp.Figures.fig13 ()
+    | "14" -> Fr_exp.Figures.fig14 ()
+    | "16" -> Fr_exp.Figures.fig16 ()
+    | other -> Printf.sprintf "unknown figure %s (expected 3,4,6,10,11,13,14,16)" other
+  in
+  print_endline text;
+  0
+
+let figure_cmd =
+  let which = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures")
+    Term.(const run_figure $ which)
+
+(* ---------------- export / route-file ---------------- *)
+
+let run_export spec =
+  print_string (F.Netlist.to_string (F.Circuits.generate spec));
+  0
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print a benchmark circuit in the textual netlist format")
+    Term.(const run_export $ spec_arg)
+
+let run_route_file file width series alg passes render =
+  let read_all path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match F.Netlist.of_string (read_all file) with
+  | Error msg ->
+      Printf.printf "cannot parse %s: %s\n" file msg;
+      2
+  | Ok circuit -> (
+      let arch =
+        match series with
+        | "3000" ->
+            F.Arch.xc3000 ~rows:circuit.F.Netlist.rows ~cols:circuit.F.Netlist.cols
+              ~channel_width:width
+        | _ ->
+            F.Arch.xc4000 ~rows:circuit.F.Netlist.rows ~cols:circuit.F.Netlist.cols
+              ~channel_width:width
+      in
+      let rrg = F.Rrg.build arch in
+      let config = F.Router.config_with ~alg ~max_passes:passes () in
+      match F.Router.route ~config rrg circuit with
+      | Ok stats ->
+          print_endline (F.Render.summary rrg stats);
+          if render then print_endline (F.Render.occupancy_map rrg);
+          0
+      | Error f ->
+          Printf.printf "unroutable at W=%d: %d nets failing after %d passes\n" width
+            (List.length f.F.Router.failed_nets)
+            f.F.Router.passes_tried;
+          1)
+
+let route_file_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST_FILE") in
+  let width = Arg.(value & opt int 10 & info [ "w"; "width" ] ~docv:"W" ~doc:"Channel width.") in
+  let series =
+    Arg.(value & opt string "4000" & info [ "series" ] ~docv:"S" ~doc:"3000 or 4000.")
+  in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"Print the occupancy map.") in
+  Cmd.v
+    (Cmd.info "route-file" ~doc:"Route a circuit from a textual netlist file")
+    Term.(const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ render)
+
+(* ---------------- circuits ---------------- *)
+
+let run_circuits () =
+  let t =
+    Fr_util.Tab.create ~title:"Benchmark circuits (synthetic reconstructions)"
+      ~header:[ "Circuit"; "Series"; "Size"; "#nets"; "2-3"; "4-10"; ">10" ]
+  in
+  List.iter
+    (fun s ->
+      Fr_util.Tab.add_row t
+        [
+          s.F.Circuits.circuit;
+          (match s.F.Circuits.series with
+          | F.Arch.Series_3000 -> "3000"
+          | F.Arch.Series_4000 -> "4000");
+          Printf.sprintf "%dx%d" s.F.Circuits.rows s.F.Circuits.cols;
+          string_of_int (F.Circuits.total_nets s);
+          string_of_int s.F.Circuits.nets_small;
+          string_of_int s.F.Circuits.nets_medium;
+          string_of_int s.F.Circuits.nets_large;
+        ])
+    F.Circuits.all_specs;
+  Fr_util.Tab.print t;
+  0
+
+let circuits_cmd =
+  Cmd.v (Cmd.info "circuits" ~doc:"List the benchmark circuits") Term.(const run_circuits $ const ())
+
+(* ---------------- net ---------------- *)
+
+let run_net size congestion seed =
+  let rng = Fr_util.Rng.make seed in
+  let grid = Fr_exp.Congestion.congested_grid rng ~k:congestion in
+  let g = grid.G.Grid.graph in
+  let net = C.Net.of_terminals (G.Random_graph.random_net rng g ~k:size) in
+  let cache = G.Dist_cache.create g in
+  let t =
+    Fr_util.Tab.create
+      ~title:
+        (Printf.sprintf "One %d-pin net on a 20x20 grid (congestion k=%d, w=%.2f)" size congestion
+           (G.Wgraph.mean_edge_weight g))
+      ~header:[ "Algorithm"; "Wirelength"; "Max path"; "Arborescence?" ]
+  in
+  List.iter
+    (fun (alg : C.Routing_alg.t) ->
+      let tree = alg.C.Routing_alg.solve cache ~net in
+      let m = C.Eval.metrics cache ~net ~tree in
+      Fr_util.Tab.add_row t
+        [
+          alg.C.Routing_alg.name;
+          Printf.sprintf "%.2f" m.C.Eval.cost;
+          Printf.sprintf "%.2f" m.C.Eval.max_path;
+          (if m.C.Eval.arborescence then "yes" else "no");
+        ])
+    C.Routing_alg.all;
+  Fr_util.Tab.print t;
+  0
+
+let net_cmd =
+  let size = Arg.(value & opt int 5 & info [ "pins" ] ~docv:"K" ~doc:"Number of pins.") in
+  let congestion =
+    Arg.(value & opt int 10 & info [ "congestion" ] ~docv:"K" ~doc:"Pre-routed nets.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "net" ~doc:"Route one random net with all eight algorithms")
+    Term.(const run_net $ size $ congestion $ seed)
+
+let main =
+  Cmd.group
+    (Cmd.info "fpga_route" ~version:"1.0.0"
+       ~doc:"Performance-driven FPGA routing (Alexander-Robins DAC'95 reproduction)")
+    [ route_cmd; width_cmd; table_cmd; figure_cmd; circuits_cmd; net_cmd; export_cmd; route_file_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,120 @@
+(* Ablation: wirelength-vs-radius tradeoffs (paper §2's related work) and
+   the design choices DESIGN.md calls out.
+
+   Three studies on the same congested-grid workload:
+
+   1. BRBC (eps sweep) and AHHK (c sweep) interpolate between minimum
+      wirelength and shortest paths — but at the pathlength-optimal end
+      they only reproduce Dijkstra's tree, whereas PFA/IDOM give optimal
+      paths at far lower wirelength.  This regenerates the paper's §2
+      argument for the new arborescence heuristics.
+
+   2. Batched vs sequential IGMST: the paper's "batches" remark — same
+      quality, fewer ranking rounds.
+
+   3. Mehlhorn vs KMB: the fast Voronoi-based distance graph is a drop-in
+      2-approximation with comparable quality.
+
+   Run with: dune exec examples/ablation_tradeoff.exe *)
+
+module G = Fr_graph
+module C = Fr_core
+module Rng = Fr_util.Rng
+module Tab = Fr_util.Tab
+
+let instances =
+  List.map
+    (fun seed ->
+      let rng = Rng.make seed in
+      let grid = Fr_exp.Congestion.congested_grid ~width:16 ~height:16 rng ~k:10 in
+      let g = grid.G.Grid.graph in
+      let net = C.Net.of_terminals (G.Random_graph.random_net rng g ~k:7) in
+      (g, net))
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let sweep name solve =
+  let wire = ref 0. and radius = ref 0. in
+  List.iter
+    (fun (g, net) ->
+      let cache = G.Dist_cache.create g in
+      let tree = solve cache net in
+      wire := !wire +. G.Tree.cost g tree;
+      radius := !radius +. C.Ahhk.max_radius_ratio cache ~net ~tree)
+    instances;
+  let n = float_of_int (List.length instances) in
+  (name, !wire /. n, !radius /. n)
+
+let () =
+  let rows =
+    [
+      sweep "AHHK c=0.00 (Prim)" (fun cache net -> C.Ahhk.solve ~c:0. cache ~net);
+      sweep "AHHK c=0.25" (fun cache net -> C.Ahhk.solve ~c:0.25 cache ~net);
+      sweep "AHHK c=0.50" (fun cache net -> C.Ahhk.solve ~c:0.5 cache ~net);
+      sweep "AHHK c=1.00 (Dijkstra)" (fun cache net -> C.Ahhk.solve ~c:1. cache ~net);
+      sweep "BRBC eps=4.00" (fun cache net -> C.Brbc.solve ~epsilon:4. cache ~net);
+      sweep "BRBC eps=1.00" (fun cache net -> C.Brbc.solve ~epsilon:1. cache ~net);
+      sweep "BRBC eps=0.25" (fun cache net -> C.Brbc.solve ~epsilon:0.25 cache ~net);
+      sweep "BRBC eps=0.00 (SPT)" (fun cache net -> C.Brbc.solve ~epsilon:0. cache ~net);
+      sweep "DJKA" (fun cache net -> C.Djka.solve cache ~net);
+      sweep "PFA" (fun cache net -> C.Pfa.solve cache ~net);
+      sweep "IDOM" (fun cache net -> C.Idom.solve cache ~net);
+      sweep "IKMB (no path bound)" (fun cache net ->
+          C.Igmst.ikmb cache ~terminals:(C.Net.terminals net));
+    ]
+  in
+  let t =
+    Tab.create
+      ~title:"Ablation 1: wirelength vs radius dilation (mean over 10 seven-pin nets, k=10)"
+      ~header:[ "Method"; "Mean wirelength"; "Mean radius ratio" ]
+  in
+  List.iter
+    (fun (name, w, r) -> Tab.add_row t [ name; Printf.sprintf "%.1f" w; Printf.sprintf "%.3f" r ])
+    rows;
+  Tab.add_note t
+    "BRBC/AHHK trade pathlength for wirelength, but at radius ratio 1.0 they reproduce \
+     Dijkstra-quality wirelength; PFA/IDOM reach ratio 1.0 with far less wire (paper §2, §4).";
+  Tab.print t;
+
+  (* Study 2: batched vs sequential IGMST. *)
+  let t2 =
+    Tab.create ~title:"Ablation 2: IGMST batched vs sequential acceptance"
+      ~header:[ "Mode"; "Mean wirelength"; "Mean time (ms)" ]
+  in
+  let run_mode name solve =
+    let wire = ref 0. and time = ref 0. in
+    List.iter
+      (fun (g, net) ->
+        let cache = G.Dist_cache.create g in
+        let t0 = Unix.gettimeofday () in
+        let tree = solve cache (C.Net.terminals net) in
+        time := !time +. (Unix.gettimeofday () -. t0);
+        wire := !wire +. G.Tree.cost g tree)
+      instances;
+    let n = float_of_int (List.length instances) in
+    Tab.add_row t2 [ name; Printf.sprintf "%.1f" (!wire /. n); Printf.sprintf "%.1f" (1000. *. !time /. n) ]
+  in
+  run_mode "sequential" (fun cache terminals -> C.Igmst.ikmb cache ~terminals);
+  run_mode "batched" (fun cache terminals ->
+      C.Igmst.solve ~batched:true C.Igmst.kmb cache ~terminals);
+  Tab.print t2;
+
+  (* Study 3: Mehlhorn vs KMB. *)
+  let t3 =
+    Tab.create ~title:"Ablation 3: KMB (distance graph) vs Mehlhorn (Voronoi) per net"
+      ~header:[ "Method"; "Mean wirelength"; "Mean time (ms)" ]
+  in
+  let run3 name solve =
+    let wire = ref 0. and time = ref 0. in
+    List.iter
+      (fun (g, net) ->
+        let t0 = Unix.gettimeofday () in
+        let tree = solve g (C.Net.terminals net) in
+        time := !time +. (Unix.gettimeofday () -. t0);
+        wire := !wire +. G.Tree.cost g tree)
+      instances;
+    let n = float_of_int (List.length instances) in
+    Tab.add_row t3 [ name; Printf.sprintf "%.1f" (!wire /. n); Printf.sprintf "%.1f" (1000. *. !time /. n) ]
+  in
+  run3 "KMB" (fun g terminals -> C.Kmb.solve (G.Dist_cache.create g) ~terminals);
+  run3 "Mehlhorn" (fun g terminals -> C.Mehlhorn.solve g ~terminals);
+  Tab.print t3

@@ -1,0 +1,50 @@
+(* Quickstart: route one multi-pin net on a weighted grid with all eight of
+   the paper's constructions and compare wirelength / max pathlength.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module G = Fr_graph
+module C = Fr_core
+
+let () =
+  (* A 12x12 grid with mild congestion: the routing substrate of the
+     paper's Table 1 experiments. *)
+  let rng = Fr_util.Rng.make 2024 in
+  let grid = Fr_exp.Congestion.congested_grid ~width:12 ~height:12 rng ~k:6 in
+  let g = grid.G.Grid.graph in
+
+  (* A 6-pin net: source at the top-left region, sinks spread out. *)
+  let node x y = G.Grid.node grid ~x ~y in
+  let net =
+    C.Net.make ~source:(node 1 1)
+      ~sinks:[ node 10 2; node 3 9; node 8 8; node 10 10; node 5 4 ]
+  in
+
+  let cache = G.Dist_cache.create g in
+  let t =
+    Fr_util.Tab.create ~title:"Quickstart: one 6-pin net, eight algorithms"
+      ~header:[ "Algorithm"; "Kind"; "Wirelength"; "Max path"; "Optimal path?" ]
+  in
+  List.iter
+    (fun (alg : C.Routing_alg.t) ->
+      let tree = alg.C.Routing_alg.solve cache ~net in
+      let m = C.Eval.metrics cache ~net ~tree in
+      Fr_util.Tab.add_row t
+        [
+          alg.C.Routing_alg.name;
+          (match alg.C.Routing_alg.kind with
+          | C.Routing_alg.Steiner -> "Steiner"
+          | C.Routing_alg.Arborescence -> "arborescence");
+          Printf.sprintf "%.2f" m.C.Eval.cost;
+          Printf.sprintf "%.2f" m.C.Eval.max_path;
+          (if m.C.Eval.arborescence then "yes" else "no");
+        ])
+    C.Routing_alg.all;
+  Fr_util.Tab.add_note t
+    "Steiner algorithms (KMB..IZEL) minimize wirelength only; arborescence algorithms \
+     (DJKA..IDOM) guarantee shortest source-sink paths and fight for wirelength second.";
+  Fr_util.Tab.print t;
+
+  (* Optimal Steiner wirelength for reference (Dreyfus-Wagner). *)
+  let opt = C.Exact.steiner_cost g ~terminals:(C.Net.terminals net) in
+  Printf.printf "Exact minimum Steiner wirelength (Dreyfus-Wagner): %.2f\n" opt

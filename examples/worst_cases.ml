@@ -1,0 +1,8 @@
+(* The adversarial instances of Figs 10, 11 and 14, live.
+
+   Run with: dune exec examples/worst_cases.exe *)
+
+let () =
+  print_endline (Fr_exp.Figures.fig10 ());
+  print_endline (Fr_exp.Figures.fig11 ());
+  print_endline (Fr_exp.Figures.fig14 ())

@@ -1,0 +1,59 @@
+module G = Fr_graph
+
+let solve ~c cache ~net =
+  if c < 0. || c > 1. then invalid_arg "Ahhk.solve: c outside [0,1]";
+  let g = G.Dist_cache.graph cache in
+  let n = G.Wgraph.num_nodes g in
+  let source = net.Net.source in
+  (* Prim/Dijkstra hybrid: label ℓ(v) = tree pathlength once attached;
+     priority of attaching v through (u,v) is c·ℓ(u) + w. *)
+  let in_tree = Array.make n false in
+  let path_len = Array.make n infinity in
+  let best_key = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let heap = G.Heap.create ~capacity:(2 * n) () in
+  path_len.(source) <- 0.;
+  best_key.(source) <- 0.;
+  G.Heap.push heap 0. source;
+  let rec loop () =
+    match G.Heap.pop_min heap with
+    | None -> ()
+    | Some (_, u) ->
+        if not in_tree.(u) then begin
+          in_tree.(u) <- true;
+          (if parent_edge.(u) >= 0 then
+             let p = G.Wgraph.other_end g parent_edge.(u) u in
+             path_len.(u) <- path_len.(p) +. G.Wgraph.weight g parent_edge.(u));
+          G.Wgraph.iter_adj g u (fun e v w ->
+              if not in_tree.(v) then begin
+                let key = (c *. path_len.(u)) +. w in
+                if key < best_key.(v) then begin
+                  best_key.(v) <- key;
+                  parent_edge.(v) <- e;
+                  G.Heap.push heap key v
+                end
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  List.iter
+    (fun s -> if not in_tree.(s) then Routing_err.fail "AHHK")
+    net.Net.sinks;
+  let edges = ref [] in
+  (* Keep only parent edges on paths to terminals: prune afterwards. *)
+  Array.iteri (fun v e -> if e >= 0 && in_tree.(v) then edges := e :: !edges) parent_edge;
+  let tree = G.Tree.of_edges !edges in
+  G.Tree.prune g tree ~keep:(Net.terminals net)
+
+let max_radius_ratio cache ~net ~tree =
+  let g = G.Dist_cache.graph cache in
+  let r = G.Dist_cache.result cache ~src:net.Net.source in
+  let lengths = G.Tree.path_lengths_from g tree ~src:net.Net.source in
+  List.fold_left
+    (fun acc s ->
+      let opt = G.Dijkstra.dist r s in
+      match List.assoc_opt s lengths with
+      | Some d when opt > 0. -> max acc (d /. opt)
+      | _ -> acc)
+    1. net.Net.sinks

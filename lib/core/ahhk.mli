@@ -1,0 +1,20 @@
+(** The AHHK Prim–Dijkstra tradeoff tree (paper reference [9]:
+    Alpert–Hu–Huang–Kahng–Karger).
+
+    Grows a tree from the source like Prim, but scores a frontier edge
+    (u, v) by [c·ℓ(u) + w(u,v)] where ℓ(u) is the pathlength from the
+    source to [u] inside the growing tree.  [c = 0] is Prim's MST (minimum
+    wirelength, unbounded pathlength); [c = 1] is Dijkstra's SPT.  The
+    paper (§2) cites this method as achieving wirelength–radius tradeoffs
+    but — at the pathlength-optimal end — only reproducing Dijkstra's tree,
+    which is exactly what PFA/IDOM improve on; the ablation example
+    regenerates that comparison. *)
+
+val solve : c:float -> Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** [solve ~c cache ~net] spans the net's terminals, pruning non-terminal
+    leaves.  Requires [0. <= c <= 1.].
+    @raise Routing_err.Unroutable when some sink is unreachable. *)
+
+val max_radius_ratio : Fr_graph.Dist_cache.t -> net:Net.t -> tree:Fr_graph.Tree.t -> float
+(** Max over sinks of (tree pathlength / graph distance) — the radius
+    dilation a tradeoff point accepts (1.0 = shortest-paths tree). *)

@@ -1,0 +1,92 @@
+module G = Fr_graph
+
+(* Depth-first terminal order around the backbone tree, with the traversal
+   length between consecutive visits (each backbone edge is walked twice in
+   a DFS circumnavigation). *)
+let dfs_tour g tree ~source =
+  let adj = Hashtbl.create 64 in
+  let add u x =
+    let cur = try Hashtbl.find adj u with Not_found -> [] in
+    Hashtbl.replace adj u (x :: cur)
+  in
+  List.iter
+    (fun e ->
+      let u, v = G.Wgraph.endpoints g e in
+      let w = G.Wgraph.weight g e in
+      add u (v, w);
+      add v (u, w))
+    tree.G.Tree.edges;
+  let visited = Hashtbl.create 64 in
+  let tour = ref [] in
+  (* (node, accumulated walk length at visit) *)
+  let len = ref 0. in
+  let rec dfs u =
+    Hashtbl.replace visited u ();
+    tour := (u, !len) :: !tour;
+    List.iter
+      (fun (v, w) ->
+        if not (Hashtbl.mem visited v) then begin
+          len := !len +. w;
+          dfs v;
+          len := !len +. w
+        end)
+      (try Hashtbl.find adj u with Not_found -> [])
+  in
+  dfs source;
+  List.rev !tour
+
+let solve ~epsilon cache ~net =
+  if epsilon < 0. then invalid_arg "Brbc.solve: epsilon < 0";
+  let g = G.Dist_cache.graph cache in
+  let source = net.Net.source in
+  let terminals = Net.terminals net in
+  let rsrc = G.Dist_cache.result cache ~src:source in
+  List.iter
+    (fun s -> if not (G.Dijkstra.reachable rsrc s) then Routing_err.fail "BRBC")
+    net.Net.sinks;
+  (* Backbone: the KMB Steiner tree (low cost). *)
+  let backbone = Kmb.solve cache ~terminals in
+  if backbone.G.Tree.edges = [] then backbone
+  else begin
+    let tour = dfs_tour g backbone ~source in
+    let union = Hashtbl.create 256 in
+    List.iter (fun e -> Hashtbl.replace union e ()) backbone.G.Tree.edges;
+    let is_sink = Hashtbl.create 16 in
+    List.iter (fun s -> Hashtbl.replace is_sink s ()) net.Net.sinks;
+    (* Walk the tour keeping the last merge point [u_last] (initially the
+       source, whose distance is optimal).  A sink reachable through
+       [u_last] plus the walked slack within (1+eps) of its shortest
+       distance needs no work; otherwise its shortest path is merged in and
+       it becomes the new checkpoint.  This enforces the per-sink radius
+       bound by construction. *)
+    let last_merge_len = ref 0. and last_merge_dist = ref 0. in
+    List.iter
+      (fun (v, at_len) ->
+        if Hashtbl.mem is_sink v then begin
+          let slack = at_len -. !last_merge_len in
+          let dv = G.Dijkstra.dist rsrc v in
+          if !last_merge_dist +. slack > ((1. +. epsilon) *. dv) +. 1e-12 then begin
+            List.iter (fun e -> Hashtbl.replace union e ()) (G.Dijkstra.path_edges rsrc v);
+            last_merge_len := at_len;
+            last_merge_dist := dv
+          end
+        end)
+      tour;
+    (* SPT of the union, pruned to the net. *)
+    let spt = G.Dijkstra.run ~edge_ok:(Hashtbl.mem union) g ~src:source in
+    List.iter
+      (fun s -> if not (G.Dijkstra.reachable spt s) then Routing_err.fail "BRBC")
+      net.Net.sinks;
+    G.Tree.prune g (G.Tree.of_edges (G.Dijkstra.spt_edges spt)) ~keep:terminals
+  end
+
+let radius_bound_holds ~epsilon cache ~net ~tree =
+  let g = G.Dist_cache.graph cache in
+  let rsrc = G.Dist_cache.result cache ~src:net.Net.source in
+  let lengths = G.Tree.path_lengths_from g tree ~src:net.Net.source in
+  List.for_all
+    (fun s ->
+      match List.assoc_opt s lengths with
+      | Some d -> d <= ((1. +. epsilon) *. G.Dijkstra.dist rsrc s) +. 1e-6
+      | None -> false)
+    net.Net.sinks

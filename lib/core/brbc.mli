@@ -1,0 +1,23 @@
+(** The Bounded-Radius Bounded-Cost tree of Cong–Kahng–Robins–Sarrafzadeh–
+    Wong (paper reference [14]).
+
+    Given a tradeoff parameter ε ≥ 0, BRBC walks depth-first around a
+    low-cost backbone tree (here: the KMB Steiner tree) accumulating
+    traversed length; whenever the accumulated slack at a terminal [v]
+    exceeds ε·minpath(source, v), the shortest source-to-[v] path is merged
+    in and the slack resets.  The shortest-paths tree of the resulting
+    union has radius ≤ (1+ε)·optimal and cost ≤ (1 + 2/ε)·cost(backbone).
+
+    With ε = 0 the construction degenerates to Dijkstra's SPT — the paper's
+    §2 point that BRBC cannot produce a *minimum-wirelength* shortest-paths
+    tree, which is the gap PFA/IDOM close. *)
+
+val solve : epsilon:float -> Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** Spans the net's terminals; prunes non-terminal leaves.  Requires
+    [epsilon >= 0.].
+    @raise Routing_err.Unroutable when some sink is unreachable. *)
+
+val radius_bound_holds :
+  epsilon:float -> Fr_graph.Dist_cache.t -> net:Net.t -> tree:Fr_graph.Tree.t -> bool
+(** Checks the defining guarantee: every sink's tree pathlength is at most
+    (1+ε)·minpath(source, sink) (with a small floating tolerance). *)

@@ -1,0 +1,78 @@
+module G = Fr_graph
+
+type params = {
+  unit_resistance : float;
+  unit_capacitance : float;
+  sink_load : float;
+  driver_resistance : float;
+}
+
+let default_params =
+  { unit_resistance = 1.; unit_capacitance = 1.; sink_load = 1.; driver_resistance = 1. }
+
+let elmore ?(params = default_params) g ~tree ~net =
+  let src = net.Net.source in
+  if not (G.Tree.spans g tree (Net.terminals net)) then
+    invalid_arg "Delay.elmore: tree does not span net";
+  let sink_tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace sink_tbl s ()) net.Net.sinks;
+  (* Root the tree at the source. *)
+  let adj = Hashtbl.create 64 in
+  let add u x =
+    let cur = try Hashtbl.find adj u with Not_found -> [] in
+    Hashtbl.replace adj u (x :: cur)
+  in
+  List.iter
+    (fun e ->
+      let u, v = G.Wgraph.endpoints g e in
+      let w = G.Wgraph.weight g e in
+      add u (v, w);
+      add v (u, w))
+    tree.G.Tree.edges;
+  (* Downstream capacitance per node (wire cap of the subtree plus sink
+     loads), by post-order DFS. *)
+  let subtree_cap = Hashtbl.create 64 in
+  let visited = Hashtbl.create 64 in
+  let rec cap_of u =
+    Hashtbl.replace visited u ();
+    let own = if Hashtbl.mem sink_tbl u then params.sink_load else 0. in
+    let below =
+      List.fold_left
+        (fun acc (v, w) ->
+          if Hashtbl.mem visited v then acc
+          else acc +. (params.unit_capacitance *. w) +. cap_of v)
+        0.
+        (try Hashtbl.find adj u with Not_found -> [])
+    in
+    let total = own +. below in
+    Hashtbl.replace subtree_cap u total;
+    total
+  in
+  let total_cap = if tree.G.Tree.edges = [] then 0. else cap_of src in
+  let driver_term = params.driver_resistance *. total_cap in
+  (* Delays by pre-order DFS: accumulate R(path)·C(downstream). *)
+  let delays = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let rec walk u acc =
+    Hashtbl.replace seen u ();
+    if Hashtbl.mem sink_tbl u then Hashtbl.replace delays u (driver_term +. acc);
+    List.iter
+      (fun (v, w) ->
+        if not (Hashtbl.mem seen v) then begin
+          let r = params.unit_resistance *. w in
+          let c_half_edge = params.unit_capacitance *. w /. 2. in
+          let c_below = try Hashtbl.find subtree_cap v with Not_found -> 0. in
+          walk v (acc +. (r *. (c_half_edge +. c_below)))
+        end)
+      (try Hashtbl.find adj u with Not_found -> [])
+  in
+  if tree.G.Tree.edges <> [] then walk src 0.;
+  List.map
+    (fun s ->
+      match Hashtbl.find_opt delays s with
+      | Some d -> (s, d)
+      | None -> invalid_arg "Delay.elmore: sink not reached by tree")
+    net.Net.sinks
+
+let max_delay ?params g ~tree ~net =
+  List.fold_left (fun acc (_, d) -> max acc d) 0. (elmore ?params g ~tree ~net)

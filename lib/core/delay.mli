@@ -1,0 +1,38 @@
+(** Elmore delay evaluation of routing trees.
+
+    The paper's motivation (§1) is signal propagation delay, and its
+    constructions "can be easily tuned to the specific parasitics of the
+    underlying technology" (citing the technology-sensitive routing of
+    [11, 15]).  This module provides the distributed-RC evaluation those
+    works use: each tree edge contributes series resistance and
+    distributed capacitance proportional to its length (= weight), sinks
+    add load capacitance, and the source drives through a driver
+    resistance.  Under this model, the delay to a sink is
+
+      R_driver·C(total) + Σ_{e on path} R(e)·(C(e)/2 + C(subtree below e))
+
+    Pathlength-optimal trees (PFA/IDOM) minimize the dominant path-R term,
+    which is why the paper routes critical nets with arborescences. *)
+
+type params = {
+  unit_resistance : float;  (** Ω per unit wirelength *)
+  unit_capacitance : float;  (** F per unit wirelength *)
+  sink_load : float;  (** F per sink pin *)
+  driver_resistance : float;  (** Ω at the source *)
+}
+
+val default_params : params
+(** 1 Ω, 1 F, 1 F, 1 Ω per unit — adequate for relative comparisons. *)
+
+val elmore :
+  ?params:params ->
+  Fr_graph.Wgraph.t ->
+  tree:Fr_graph.Tree.t ->
+  net:Net.t ->
+  (int * float) list
+(** Delay to every sink of the net.  The tree must span the net.
+    @raise Invalid_argument otherwise. *)
+
+val max_delay :
+  ?params:params -> Fr_graph.Wgraph.t -> tree:Fr_graph.Tree.t -> net:Net.t -> float
+(** The critical-sink delay. *)

@@ -1,0 +1,10 @@
+module G = Fr_graph
+
+let solve cache ~net =
+  let g = G.Dist_cache.graph cache in
+  let r = G.Dist_cache.result cache ~src:net.Net.source in
+  List.iter
+    (fun s -> if not (G.Dijkstra.reachable r s) then Routing_err.fail "DJKA")
+    net.Net.sinks;
+  let tree = G.Tree.of_edges (G.Dijkstra.spt_edges r) in
+  G.Tree.prune g tree ~keep:(Net.terminals net)

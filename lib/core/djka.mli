@@ -1,0 +1,8 @@
+(** DJKA (paper §5): Dijkstra's shortest-paths tree adapted to the GSA
+    problem — compute the SPT rooted at the net source, then delete edges
+    not on any source-to-sink path.  Pathlengths are optimal by
+    construction; wirelength is typically poor (Table 1), which is what the
+    paper's arborescence heuristics improve on. *)
+
+val solve : Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** @raise Routing_err.Unroutable when some sink is unreachable. *)

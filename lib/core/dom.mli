@@ -1,0 +1,15 @@
+(** The DOM spanning-arborescence heuristic (paper §4.2).
+
+    A restriction of PFA where merge points must come from the net itself:
+    each sink is connected by a shortest path to the closest sink/source it
+    dominates, and the shortest-paths tree of the union is returned.  DOM is
+    the inner construction iterated by {!Idom}. *)
+
+val solve : Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** @raise Routing_err.Unroutable when some sink is unreachable. *)
+
+val distance_graph_cost : Fr_graph.Dist_cache.t -> source:int -> sinks:int list -> float
+(** The paper's distance-graph formulation of DOM's cost: the sum, over all
+    sinks, of the distance to the chosen (nearest dominated) parent.  This
+    is the O(|N|²) objective {!Idom} evaluates in its Δ-scan; [infinity]
+    when some sink is unreachable. *)

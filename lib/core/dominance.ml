@@ -1,0 +1,91 @@
+module G = Fr_graph
+
+let tol = 1e-9
+
+let dominates_via ~source_dist ~p_dist ~p ~s =
+  let dp = source_dist p and ds = source_dist s and dsp = p_dist s in
+  dp < infinity && ds < infinity && dsp < infinity
+  && Float.abs (dp -. (ds +. dsp)) <= tol *. (1. +. Float.abs dp) +. tol
+
+let dominates cache ~source ~p ~s =
+  let rsrc = G.Dist_cache.result cache ~src:source in
+  let rp = G.Dist_cache.result cache ~src:p in
+  dominates_via ~source_dist:(G.Dijkstra.dist rsrc) ~p_dist:(G.Dijkstra.dist rp) ~p ~s
+
+let max_dom ?(allowed = fun _ -> true) cache ~source ~p ~q =
+  let g = G.Dist_cache.graph cache in
+  let rsrc = G.Dist_cache.result cache ~src:source in
+  let rp = G.Dist_cache.result cache ~src:p in
+  let rq = G.Dist_cache.result cache ~src:q in
+  let sd = G.Dijkstra.dist rsrc in
+  let pd = G.Dijkstra.dist rp in
+  let qd = G.Dijkstra.dist rq in
+  if sd p = infinity || sd q = infinity then None
+  else begin
+    let best = ref (-1) and best_d = ref neg_infinity in
+    for m = 0 to G.Wgraph.num_nodes g - 1 do
+      if
+        G.Wgraph.node_enabled g m && allowed m
+        && dominates_via ~source_dist:sd ~p_dist:pd ~p ~s:m
+        && dominates_via ~source_dist:sd ~p_dist:qd ~p:q ~s:m
+        && sd m > !best_d
+      then begin
+        best := m;
+        best_d := sd m
+      end
+    done;
+    if !best < 0 then None else Some (!best, !best_d)
+  end
+
+let nearest_dominated cache ~source ~members ~p =
+  if p = source then None
+  else begin
+    let rsrc = G.Dist_cache.result cache ~src:source in
+    let sd = G.Dijkstra.dist rsrc in
+    (* Distances between p and candidate parents are served from whichever
+       side is memoized, so scanning a *candidate* p (IDOM's Δ-loop) costs
+       no Dijkstra from p. *)
+    let pd s = G.Dist_cache.dist_sym cache s p in
+    if sd p = infinity then None
+    else begin
+      let better (s, d) = function
+        | None -> true
+        | Some (s', d') ->
+            d < d' -. tol || (d <= d' +. tol && (sd s < sd s' -. tol || (sd s <= sd s' +. tol && s < s')))
+      in
+      List.fold_left
+        (fun acc s ->
+          if s <> p && dominates_via ~source_dist:sd ~p_dist:pd ~p ~s then begin
+            let d = pd s in
+            if better (s, d) acc then Some (s, d) else acc
+          end
+          else acc)
+        None members
+    end
+  end
+
+let fold_tree cache ~source ~members ~keep =
+  let g = G.Dist_cache.graph cache in
+  let members = List.sort_uniq compare members in
+  let rsrc = G.Dist_cache.result cache ~src:source in
+  List.iter
+    (fun m -> if not (G.Dijkstra.reachable rsrc m) then Routing_err.fail "fold_tree")
+    members;
+  (* Union of the shortest paths from each member to its chosen parent. *)
+  let union = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      if p <> source then begin
+        match nearest_dominated cache ~source ~members ~p with
+        | None -> Routing_err.fail "fold_tree"
+        | Some (s, _) ->
+            List.iter (fun e -> Hashtbl.replace union e ()) (G.Dist_cache.path_edges_sym cache p s)
+      end)
+    members;
+  (* Shortest-paths tree within the union subgraph, then prune. *)
+  let spt = G.Dijkstra.run ~edge_ok:(Hashtbl.mem union) g ~src:source in
+  List.iter
+    (fun m -> if not (G.Dijkstra.reachable spt m) then Routing_err.fail "fold_tree")
+    members;
+  let tree = G.Tree.of_edges (G.Dijkstra.spt_edges spt) in
+  G.Tree.prune g tree ~keep

@@ -1,0 +1,54 @@
+(** Graph dominance (paper Def 4.1) and the shared machinery of the
+    arborescence constructions (§4).
+
+    A node [p] dominates [s] (w.r.t. a source) when some shortest
+    source-to-[p] path passes through [s], i.e.
+    [minpath(n0,p) = minpath(n0,s) + minpath(s,p)].  All distances come from
+    the memoized per-node Dijkstra results, so dominance tests are O(1)
+    lookups once the participating nodes' results are cached. *)
+
+val tol : float
+(** Absolute tolerance for the dominance equality test (floating-point
+    path sums). *)
+
+val dominates : Fr_graph.Dist_cache.t -> source:int -> p:int -> s:int -> bool
+(** Requires [p]'s Dijkstra result (computed on demand); [s] may be any
+    node. *)
+
+val dominates_via :
+  source_dist:(int -> float) -> p_dist:(int -> float) -> p:int -> s:int -> bool
+(** Low-level variant for tight scan loops: [source_dist] is distance from
+    the net source, [p_dist] is distance from [p]. *)
+
+val max_dom :
+  ?allowed:(int -> bool) ->
+  Fr_graph.Dist_cache.t ->
+  source:int ->
+  p:int ->
+  q:int ->
+  (int * float) option
+(** [max_dom cache ~source ~p ~q] is the paper's MaxDom(p,q): a node
+    dominated by both [p] and [q] farthest from the source, with its
+    distance.  Always succeeds on connected inputs since the source is
+    dominated by everything; [None] only if [p]/[q] are unreachable.
+    [allowed] restricts the scanned node set. *)
+
+val nearest_dominated :
+  Fr_graph.Dist_cache.t -> source:int -> members:int list -> p:int -> (int * float) option
+(** The parent-selection rule shared by DOM/PFA/IDOM: the member [s ≠ p]
+    that [p] dominates, at minimum [minpath(s,p)] (ties: smaller source
+    distance, then smaller id).  [None] when [p] is the source or
+    unreachable; otherwise at least the source qualifies. *)
+
+val fold_tree :
+  Fr_graph.Dist_cache.t ->
+  source:int ->
+  members:int list ->
+  keep:int list ->
+  Fr_graph.Tree.t
+(** Builds the final arborescence shared by DOM (members = net) and PFA
+    (members = net + MaxDom Steiner points): connect every member to its
+    nearest dominated member via a shortest path, take the shortest-paths
+    tree of the union subgraph, and prune leaves outside [keep].  The result
+    provably preserves every kept sink's graph distance from the source.
+    @raise Routing_err.Unroutable if some member is unreachable. *)

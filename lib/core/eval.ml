@@ -1,0 +1,51 @@
+module G = Fr_graph
+
+type metrics = {
+  cost : float;
+  max_path : float;
+  opt_max_path : float;
+  arborescence : bool;
+}
+
+let path_tolerance = 1e-6
+
+let check cache ~net ~tree =
+  let g = G.Dist_cache.graph cache in
+  if not (G.Tree.spans g tree (Net.terminals net)) then Error "tree does not span the net"
+  else if not (G.Tree.is_tree g tree) then Error "edge set is not a tree"
+  else if not (G.Tree.uses_only_enabled g tree) then Error "tree uses disabled resources"
+  else Ok ()
+
+let metrics cache ~net ~tree =
+  let g = G.Dist_cache.graph cache in
+  if not (G.Tree.spans g tree (Net.terminals net)) then
+    invalid_arg "Eval.metrics: tree does not span net";
+  let src = net.Net.source in
+  let r = G.Dist_cache.result cache ~src in
+  let cost = G.Tree.cost g tree in
+  let lengths =
+    match net.Net.sinks with
+    | [] -> []
+    | _ ->
+        let all = G.Tree.path_lengths_from g tree ~src in
+        List.map
+          (fun s ->
+            match List.assoc_opt s all with
+            | Some d -> (s, d)
+            | None -> invalid_arg "Eval.metrics: sink disconnected in tree")
+          net.Net.sinks
+  in
+  let max_path = List.fold_left (fun acc (_, d) -> max acc d) 0. lengths in
+  let opt_max_path =
+    List.fold_left (fun acc s -> max acc (G.Dijkstra.dist r s)) 0. net.Net.sinks
+  in
+  let arborescence =
+    List.for_all
+      (fun (s, d) ->
+        let opt = G.Dijkstra.dist r s in
+        Float.abs (d -. opt) <= path_tolerance *. (1. +. Float.abs opt))
+      lengths
+  in
+  { cost; max_path; opt_max_path; arborescence }
+
+let is_arborescence cache ~net ~tree = (metrics cache ~net ~tree).arborescence

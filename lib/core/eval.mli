@@ -1,0 +1,21 @@
+(** Shared evaluation of routing solutions — the metrics of the paper's
+    Table 1 (total wirelength, maximum source–sink pathlength vs optimal)
+    and the validity invariants used by the test suite. *)
+
+type metrics = {
+  cost : float;  (** total wirelength, the paper's cost(T) *)
+  max_path : float;  (** maximum source–sink pathlength inside the tree *)
+  opt_max_path : float;  (** max over sinks of minpath_G(n0, sink) *)
+  arborescence : bool;
+      (** [minpath_T(n0,s) = minpath_G(n0,s)] for every sink — the defining
+          GSA property *)
+}
+
+val metrics : Fr_graph.Dist_cache.t -> net:Net.t -> tree:Fr_graph.Tree.t -> metrics
+(** @raise Invalid_argument if the tree does not span the net. *)
+
+val is_arborescence : Fr_graph.Dist_cache.t -> net:Net.t -> tree:Fr_graph.Tree.t -> bool
+
+val check : Fr_graph.Dist_cache.t -> net:Net.t -> tree:Fr_graph.Tree.t -> (unit, string) result
+(** Structural validation: spans the net, is a tree, uses only enabled
+    resources.  Returns a diagnostic message on failure. *)

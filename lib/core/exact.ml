@@ -1,0 +1,97 @@
+module G = Fr_graph
+
+let max_terminals = 12
+
+(* Reconstruction decisions for dp.(mask).(v). *)
+type choice =
+  | Leaf  (** v is the mask's own terminal (singleton base case) *)
+  | Merge of int  (** split into submask and its complement, both at v *)
+  | Walk of int * int  (** reached from node u over edge e *)
+
+let steiner g ~terminals =
+  let ts = Array.of_list (List.sort_uniq compare terminals) in
+  let k = Array.length ts in
+  if k > max_terminals then invalid_arg "Exact.steiner: too many terminals";
+  if k <= 1 then G.Tree.empty
+  else begin
+    let n = G.Wgraph.num_nodes g in
+    let root = ts.(k - 1) in
+    let kk = k - 1 in
+    let nmasks = 1 lsl kk in
+    let dp = Array.init nmasks (fun _ -> Array.make n infinity) in
+    let how = Array.init nmasks (fun _ -> Array.make n Leaf) in
+    (* Dijkstra relaxation of one mask layer, seeded by its current values. *)
+    let relax mask =
+      let d = dp.(mask) and h = how.(mask) in
+      let heap = G.Heap.create ~capacity:(2 * n) () in
+      let settled = Array.make n false in
+      Array.iteri (fun v dv -> if dv < infinity then G.Heap.push heap dv v) d;
+      let rec loop () =
+        match G.Heap.pop_min heap with
+        | None -> ()
+        | Some (dist, u) ->
+            if (not settled.(u)) && dist <= d.(u) +. 1e-12 then begin
+              settled.(u) <- true;
+              G.Wgraph.iter_adj g u (fun e v w ->
+                  if (not settled.(v)) && d.(u) +. w < d.(v) then begin
+                    d.(v) <- d.(u) +. w;
+                    h.(v) <- Walk (u, e);
+                    G.Heap.push heap d.(v) v
+                  end)
+            end;
+            loop ()
+      in
+      loop ()
+    in
+    (* Base cases: singleton masks. *)
+    for i = 0 to kk - 1 do
+      let mask = 1 lsl i in
+      dp.(mask).(ts.(i)) <- 0.;
+      how.(mask).(ts.(i)) <- Leaf;
+      relax mask
+    done;
+    (* Masks in increasing popcount order; all strict submasks are done
+       before a mask because submasks are numerically smaller only within
+       the same popcount ordering — iterate masks in increasing numeric
+       order instead, which also guarantees submasks come first. *)
+    for mask = 1 to nmasks - 1 do
+      if mask land (mask - 1) <> 0 then begin
+        (* Merge step over proper submasks. *)
+        let d = dp.(mask) and h = how.(mask) in
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          let other = mask lxor !sub in
+          if !sub < other then begin
+            let ds = dp.(!sub) and dt = dp.(other) in
+            for v = 0 to n - 1 do
+              let c = ds.(v) +. dt.(v) in
+              if c < d.(v) then begin
+                d.(v) <- c;
+                h.(v) <- Merge !sub
+              end
+            done
+          end;
+          sub := (!sub - 1) land mask
+        done;
+        relax mask
+      end
+    done;
+    let full = nmasks - 1 in
+    if dp.(full).(root) = infinity then Routing_err.fail "Exact";
+    (* Reconstruct the edge set. *)
+    let edges = ref [] in
+    let rec collect mask v =
+      match how.(mask).(v) with
+      | Leaf -> assert (mask land (mask - 1) = 0)
+      | Merge sub ->
+          collect sub v;
+          collect (mask lxor sub) v
+      | Walk (u, e) ->
+          edges := e :: !edges;
+          collect mask u
+    in
+    collect full root;
+    G.Tree.of_edges !edges
+  end
+
+let steiner_cost g ~terminals = G.Tree.cost g (steiner g ~terminals)

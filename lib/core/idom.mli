@@ -1,0 +1,23 @@
+(** The Iterated Dominance heuristic (paper §4.2, Fig 12).
+
+    Greedily grows a Steiner set S: at each step the candidate [t]
+    maximizing ΔDOM(G, N, S ∪ {t}) — the reduction of DOM's distance-graph
+    cost — is added, until no candidate improves; the result is
+    DOM(G, N∪S).  Escapes PFA's Θ(N) worst case (it solves those instances
+    optimally) at the price of an Ω(log N) worst case of its own (Fig 14),
+    matching the set-cover inapproximability bound of the GSA problem. *)
+
+val solve :
+  ?candidates:int list -> Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** [candidates] defaults to every enabled non-terminal node (the paper's
+    V − N).  @raise Routing_err.Unroutable when some sink is unreachable. *)
+
+val steiner_nodes :
+  ?candidates:int list -> Fr_graph.Dist_cache.t -> net:Net.t -> int list
+(** The accepted Steiner set S, in acceptance order (trace hook for
+    Fig 13). *)
+
+val distance_graph_cost_trace :
+  ?candidates:int list -> Fr_graph.Dist_cache.t -> net:Net.t -> float list
+(** DOM's distance-graph cost after each acceptance (strictly decreasing —
+    the paper's monotonicity claim; first element = plain DOM's cost). *)

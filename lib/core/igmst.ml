@@ -1,0 +1,149 @@
+module G = Fr_graph
+
+type heuristic = {
+  name : string;
+  solve : Fr_graph.Dist_cache.t -> terminals:int list -> Fr_graph.Tree.t;
+}
+
+let kmb = { name = "KMB"; solve = Kmb.solve }
+
+let zel () =
+  let memo = Zel.create_memo () in
+  { name = "ZEL"; solve = (fun cache ~terminals -> Zel.solve ~memo cache ~terminals) }
+
+let improvement_eps = 1e-7
+
+(* How many of the best quick-ranked candidates get a full H evaluation per
+   iteration. *)
+let verify_top = 16
+
+let default_candidates g terminals =
+  let in_net = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace in_net t ()) terminals;
+  let acc = ref [] in
+  for v = G.Wgraph.num_nodes g - 1 downto 0 do
+    if G.Wgraph.node_enabled g v && not (Hashtbl.mem in_net v) then acc := v :: !acc
+  done;
+  !acc
+
+let try_cost h cache ~terminals =
+  match h.solve cache ~terminals with
+  | tree -> G.Tree.cost (G.Dist_cache.graph cache) tree
+  | exception Routing_err.Unroutable _ -> infinity
+
+(* Quick Δ proxy: the MST cost of the distance graph over the members plus
+   one candidate.  Distances to the candidate come from the members' cached
+   Dijkstra arrays, so each candidate costs O(k²) float work and no graph
+   traversal.  The proxy ranks candidates; the top few are re-evaluated
+   with the genuine heuristic so the accepted Steiner node always yields a
+   true cost(H) improvement (keeping IGMST's performance guarantee). *)
+let quick_scan cache ~members ~candidates =
+  let ms = Array.of_list members in
+  let k = Array.length ms in
+  let dist_arrays =
+    Array.map (fun m -> (G.Dist_cache.result cache ~src:m).G.Dijkstra.dist) ms
+  in
+  let size = k + 1 in
+  let w = Array.make_matrix size size 0. in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let d = dist_arrays.(i).(ms.(j)) in
+      w.(i).(j) <- d;
+      w.(j).(i) <- d
+    done
+  done;
+  let base = snd (G.Mst.prim_dense ~n:k ~weight:(fun i j -> w.(i).(j))) in
+  let scored =
+    List.filter_map
+      (fun t ->
+        for i = 0 to k - 1 do
+          let d = dist_arrays.(i).(t) in
+          w.(i).(k) <- d;
+          w.(k).(i) <- d
+        done;
+        let c = snd (G.Mst.prim_dense ~n:size ~weight:(fun i j -> w.(i).(j))) in
+        if c < base -. improvement_eps then Some (t, c) else None)
+      candidates
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) scored
+
+(* The Fig 5 loop, returning the accepted Steiner set S.
+
+   [batched] enables the paper's batch variant: instead of one acceptance
+   per ranking round, every ranked candidate that still yields a true
+   cost(H) improvement is accepted within the round (the "non-interference"
+   criterion degenerates to re-verifying against the already-grown set,
+   which is safe and keeps the monotone-improvement guarantee).  Typical
+   instances need <= 3 rounds, matching the paper's observation. *)
+let grow ?(batched = false) ?candidates h cache ~terminals =
+  let g = G.Dist_cache.graph cache in
+  let terminals = List.sort_uniq compare terminals in
+  if List.length terminals <= 2 then begin
+    (* A single source-sink pair: the shortest path is already optimal, no
+       Steiner node can improve it. *)
+    if try_cost h cache ~terminals = infinity then Routing_err.fail ("I" ^ h.name);
+    []
+  end
+  else begin
+    let all_candidates =
+      match candidates with Some c -> c | None -> default_candidates g terminals
+    in
+    let usable = List.filter (fun t -> not (List.mem t terminals)) all_candidates in
+    let in_s = Hashtbl.create 16 in
+    let rec iterate s base =
+      let members = s @ terminals in
+      let remaining = List.filter (fun t -> not (Hashtbl.mem in_s t)) usable in
+      let ranked = quick_scan cache ~members ~candidates:remaining in
+      if batched then begin
+        (* Accept every ranked candidate that still truly improves. *)
+        let rec sweep s base n changed = function
+          | [] -> (s, base, changed)
+          | _ when n >= verify_top -> (s, base, changed)
+          | (t, _) :: rest ->
+              let c = try_cost h cache ~terminals:(t :: s) in
+              if c < base -. improvement_eps then begin
+                Hashtbl.replace in_s t ();
+                sweep (t :: s) c (n + 1) true rest
+              end
+              else sweep s base (n + 1) changed rest
+        in
+        let s', base', changed = sweep members base 0 false ranked in
+        let s' = List.filter (fun v -> not (List.mem v terminals)) s' in
+        if changed then iterate s' base' else s
+      end
+      else begin
+        let rec verify best n = function
+          | [] -> best
+          | _ when n >= verify_top -> best
+          | (t, _) :: rest ->
+              let c = try_cost h cache ~terminals:(t :: members) in
+              let best =
+                match best with
+                | Some (_, bc) when bc <= c -> best
+                | _ when c < base -. improvement_eps -> Some (t, c)
+                | _ -> best
+              in
+              verify best (n + 1) rest
+        in
+        match verify None 0 ranked with
+        | None -> s
+        | Some (t, c) ->
+            Hashtbl.replace in_s t ();
+            iterate (t :: s) c
+      end
+    in
+    let base = try_cost h cache ~terminals in
+    if base = infinity then Routing_err.fail ("I" ^ h.name);
+    iterate [] base
+  end
+
+let steiner_nodes ?batched ?candidates h cache ~terminals =
+  grow ?batched ?candidates h cache ~terminals
+
+let solve ?batched ?candidates h cache ~terminals =
+  let s = grow ?batched ?candidates h cache ~terminals in
+  h.solve cache ~terminals:(s @ terminals)
+
+let ikmb ?candidates cache ~terminals = solve ?candidates kmb cache ~terminals
+
+let izel ?candidates cache ~terminals = solve ?candidates (zel ()) cache ~terminals

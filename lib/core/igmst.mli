@@ -1,0 +1,58 @@
+(** The Iterated Graph Minimal Steiner Tree template (paper §3, Fig 5).
+
+    Given any GMST heuristic [H], repeatedly find the Steiner candidate [t]
+    maximizing the savings ΔH(G, N, S ∪ {t}) = cost(H(G,N∪S)) −
+    cost(H(G,N∪S∪{t})) and grow S while some Δ is positive; the result is
+    H(G, N∪S).  The performance bound of the composite construction is never
+    worse than H's, and empirically much better (Table 1).
+
+    This generalizes the Iterated 1-Steiner heuristic of Kahng–Robins
+    (references [21,24,25]) from rectilinear MSTs to arbitrary graph Steiner
+    heuristics. *)
+
+type heuristic = {
+  name : string;
+  solve : Fr_graph.Dist_cache.t -> terminals:int list -> Fr_graph.Tree.t;
+}
+
+val kmb : heuristic
+
+val zel : unit -> heuristic
+(** Fresh ZEL instance carrying its own triple memo (safe to share across
+    calls on the same graph; invalidated by graph version). *)
+
+val solve :
+  ?batched:bool ->
+  ?candidates:int list ->
+  heuristic ->
+  Fr_graph.Dist_cache.t ->
+  terminals:int list ->
+  Fr_graph.Tree.t
+(** [candidates] defaults to every enabled non-terminal node of the graph
+    (the paper's V − N); the router passes a bounding-box subset on large
+    routing graphs.  Candidates that cannot improve or are unreachable are
+    simply never selected.
+
+    [batched] (default false) accepts Steiner nodes in rounds rather than
+    one at a time — the paper's remark that candidates "may be added in
+    batches", which typically converges in ≤ 3 rounds.  Every accepted node
+    is still verified to strictly reduce cost(H), so the performance bound
+    is unaffected.
+    @raise Routing_err.Unroutable if even [H] alone cannot span the net. *)
+
+val steiner_nodes :
+  ?batched:bool ->
+  ?candidates:int list ->
+  heuristic ->
+  Fr_graph.Dist_cache.t ->
+  terminals:int list ->
+  int list
+(** The accepted Steiner-node set S (execution-trace hook for Fig 6). *)
+
+val ikmb :
+  ?candidates:int list -> Fr_graph.Dist_cache.t -> terminals:int list -> Fr_graph.Tree.t
+(** IGMST instantiated with {!Kmb} — the paper's IKMB. *)
+
+val izel :
+  ?candidates:int list -> Fr_graph.Dist_cache.t -> terminals:int list -> Fr_graph.Tree.t
+(** IGMST instantiated with {!Zel} — the paper's IZEL. *)

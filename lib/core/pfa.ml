@@ -1,0 +1,51 @@
+module G = Fr_graph
+
+(* One folding pass: returns the accumulated member set M (terminals plus
+   MaxDom merge points). *)
+let fold_members ?steiner_ok cache ~net =
+  let source = net.Net.source in
+  let rsrc = G.Dist_cache.result cache ~src:source in
+  List.iter
+    (fun s -> if not (G.Dijkstra.reachable rsrc s) then Routing_err.fail "PFA")
+    net.Net.sinks;
+  let allowed =
+    match steiner_ok with
+    | None -> fun _ -> true
+    | Some ok -> fun m -> m = source || ok m
+  in
+  let active = ref (List.sort_uniq compare (Net.terminals net)) in
+  let members = ref !active in
+  while List.length !active > 1 do
+    (* Find the pair {p,q} whose MaxDom is farthest from the source. *)
+    let best = ref None in
+    let consider p q =
+      match Dominance.max_dom ~allowed cache ~source ~p ~q with
+      | None -> ()
+      | Some (m, d) -> (
+          match !best with
+          | Some (_, _, _, d') when d' >= d -> ()
+          | _ -> best := Some (p, q, m, d))
+    in
+    let rec pairs = function
+      | [] -> ()
+      | p :: rest ->
+          List.iter (fun q -> consider p q) rest;
+          pairs rest
+    in
+    pairs !active;
+    match !best with
+    | None -> Routing_err.fail "PFA"
+    | Some (p, q, m, _) ->
+        active := List.sort_uniq compare (m :: List.filter (fun x -> x <> p && x <> q) !active);
+        if not (List.mem m !members) then members := m :: !members
+  done;
+  (* With strictly positive weights the last active node is the source. *)
+  !members
+
+let steiner_nodes ?steiner_ok cache ~net =
+  let terminals = Net.terminals net in
+  List.filter (fun m -> not (List.mem m terminals)) (fold_members ?steiner_ok cache ~net)
+
+let solve ?steiner_ok cache ~net =
+  let members = fold_members ?steiner_ok cache ~net in
+  Dominance.fold_tree cache ~source:net.Net.source ~members ~keep:(Net.terminals net)

@@ -1,0 +1,20 @@
+(** The Path-Folding Arborescence heuristic (paper §4.1, Fig 9).
+
+    Generalizes the RSA construction of Rao et al. [32] from the Manhattan
+    plane to arbitrary weighted graphs: repeatedly replace the pair of
+    active nodes {p,q} whose MaxDom(p,q) lies farthest from the source by
+    that MaxDom node, then connect every accumulated node to the nearest
+    node it dominates.  Produces a shortest-paths tree; wirelength is the
+    secondary objective.  Worst case Θ(N)·OPT on general graphs (Fig 10)
+    and →2·OPT on grids (Fig 11) — see {!Worst_case}. *)
+
+val solve :
+  ?steiner_ok:(int -> bool) -> Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t
+(** [steiner_ok] restricts which nodes may serve as MaxDom merge points
+    (bounding-box pruning on large routing graphs; merge points may always
+    fall back to the source).
+    @raise Routing_err.Unroutable when some sink is unreachable. *)
+
+val steiner_nodes :
+  ?steiner_ok:(int -> bool) -> Fr_graph.Dist_cache.t -> net:Net.t -> int list
+(** The MaxDom merge points the construction introduced (trace hook). *)

@@ -1,0 +1,3 @@
+exception Unroutable of string
+
+let fail who = raise (Unroutable who)

@@ -1,0 +1,8 @@
+(** Shared failure signal for all routing constructions. *)
+
+exception Unroutable of string
+(** Raised when a net's terminals cannot all be connected in the (current)
+    graph — e.g. after the router has removed resources consumed by
+    previously routed nets.  The string names the algorithm that failed. *)
+
+val fail : string -> 'a

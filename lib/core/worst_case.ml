@@ -1,0 +1,133 @@
+module G = Fr_graph
+
+type instance = {
+  graph : G.Wgraph.t;
+  net : Net.t;
+  reference_cost : float;
+  description : string;
+}
+
+(* Exact binary fractions keep all path sums exactly representable, so the
+   dominance equality tests are never perturbed by rounding. *)
+let eps_small = 0.0625
+let trunk = 8.
+
+let pfa_graph ~k =
+  if k < 2 then invalid_arg "Worst_case.pfa_graph: k >= 2 required";
+  let e = eps_small in
+  let n0 = 0 and x = 1 in
+  let sink i = 2 + i in
+  let decoy i = 2 + k + i in
+  let g = G.Wgraph.create (2 + k + (k - 1)) in
+  let ( += ) (u, v) w = ignore (G.Wgraph.add_edge g u v w) in
+  (n0, x) += (trunk -. (2. *. e));
+  for i = 0 to k - 1 do
+    (x, sink i) += (3. *. e)
+  done;
+  for i = 0 to k - 2 do
+    (n0, decoy i) += (trunk -. e);
+    (decoy i, sink i) += (2. *. e);
+    (decoy i, sink (i + 1)) += (2. *. e)
+  done;
+  {
+    graph = g;
+    net = Net.make ~source:n0 ~sinks:(List.init k sink);
+    reference_cost = trunk -. (2. *. e) +. (3. *. e *. float_of_int k);
+    description =
+      Printf.sprintf
+        "Fig 10 gadget, %d sinks: shared trunk cost %.4f vs pairwise decoy merge points" k
+        (trunk -. (2. *. e));
+  }
+
+(* Optimal arborescence for the Fig 11 staircase by interval DP: an optimal
+   RSA on an antichain merges contiguous runs of points, so opt(i,j) — the
+   optimal subtree for points i..j rooted at their meet — satisfies a
+   textbook interval recurrence.  Horizontal unit 1, vertical unit 2. *)
+let staircase_opt ~n =
+  if n < 1 then invalid_arg "Worst_case.staircase_opt";
+  let npts = n + 1 in
+  (* point i = (i, n - i) *)
+  let x i = float_of_int i and y i = float_of_int (n - i) in
+  let hdist a b = Float.abs (a -. b) in
+  let opt = Array.make_matrix npts npts 0. in
+  for len = 2 to npts do
+    for i = 0 to npts - len do
+      let j = i + len - 1 in
+      let best = ref infinity in
+      for m = i to j - 1 do
+        (* meet(i,m) = (x i, y m) drops vertically to (x i, y j);
+           meet(m+1,j) = (x (m+1), y j) runs horizontally to (x i, y j). *)
+        let c =
+          opt.(i).(m) +. opt.(m + 1).(j)
+          +. (2. *. hdist (y m) (y j))
+          +. hdist (x (m + 1)) (x i)
+        in
+        if c < !best then best := c
+      done;
+      opt.(i).(j) <- !best
+    done
+  done;
+  (* meet(0,n) = (0,0) is the source itself. *)
+  opt.(0).(npts - 1)
+
+let pfa_grid ~n =
+  if n < 2 then invalid_arg "Worst_case.pfa_grid: n >= 2 required";
+  let side = n + 1 in
+  let g = G.Wgraph.create (side * side) in
+  let id cx cy = (cy * side) + cx in
+  for cy = 0 to side - 1 do
+    for cx = 0 to side - 1 do
+      if cx + 1 < side then ignore (G.Wgraph.add_edge g (id cx cy) (id (cx + 1) cy) 1.);
+      if cy + 1 < side then ignore (G.Wgraph.add_edge g (id cx cy) (id cx (cy + 1)) 2.)
+    done
+  done;
+  let sinks = List.init (n + 1) (fun i -> id i (n - i)) in
+  let source = id 0 0 in
+  {
+    graph = g;
+    net = Net.make ~source ~sinks;
+    reference_cost = staircase_opt ~n;
+    description =
+      Printf.sprintf
+        "Fig 11 staircase on a %dx%d grid (horizontal spacing 1, vertical 2), %d pins" side side
+        (n + 2);
+  }
+
+let eps_tiny = 1. /. 1024.
+
+let idom_graph ~levels =
+  if levels < 1 || levels > 16 then invalid_arg "Worst_case.idom_graph: 1 <= levels <= 16";
+  let t = levels in
+  let block_size i = 1 lsl (t - i + 1) in
+  (* blocks i = 1..t *)
+  let nsinks = (1 lsl (t + 1)) - 2 in
+  let n0 = 0 in
+  let center i = i in
+  (* 1..t *)
+  let good1 = t + 1 and good2 = t + 2 in
+  let sink_base = t + 3 in
+  let g = G.Wgraph.create (sink_base + nsinks) in
+  let ( += ) (u, v) w = ignore (G.Wgraph.add_edge g u v w) in
+  (n0, good1) += 1.;
+  (n0, good2) += 1.;
+  let next_sink = ref sink_base in
+  for i = 1 to t do
+    (n0, center i) += 1.;
+    for j = 0 to block_size i - 1 do
+      let s = !next_sink in
+      incr next_sink;
+      (center i, s) += eps_tiny;
+      (* alternate block members between the two good boxes *)
+      ( (if j mod 2 = 0 then good1 else good2), s ) += eps_tiny
+    done
+  done;
+  assert (!next_sink = sink_base + nsinks);
+  {
+    graph = g;
+    net = Net.make ~source:n0 ~sinks:(List.init nsinks (fun i -> sink_base + i));
+    reference_cost = 2. +. (float_of_int nsinks *. eps_tiny);
+    description =
+      Printf.sprintf
+        "Fig 14 set-cover gadget, %d levels, %d sinks: 2 good boxes vs %d shrinking decoys" t
+        nsinks t;
+  }

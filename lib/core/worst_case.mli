@@ -1,0 +1,33 @@
+(** Generators for the paper's adversarial instances (Figs 10, 11, 14).
+
+    Each instance carries a reference cost of a known optimal (or
+    best-known) arborescence so the figures' ratios can be regenerated. *)
+
+type instance = {
+  graph : Fr_graph.Wgraph.t;
+  net : Net.t;
+  reference_cost : float;  (** cost of the known good solution *)
+  description : string;
+}
+
+val pfa_graph : k:int -> instance
+(** Fig 10 analogue: [k] sinks reachable through one shared trunk (the
+    optimal solution) or through pairwise decoy merge points that PFA's
+    farthest-MaxDom rule prefers, driving PFA to Θ(k)·OPT while IDOM stays
+    optimal.  Requires [k >= 2]. *)
+
+val pfa_grid : n:int -> instance
+(** Fig 11: the staircase pointset of Rao et al. on a grid with horizontal
+    spacing 1 and vertical spacing 2; PFA's cost approaches twice the
+    optimal as [n] grows.  [reference_cost] is the true optimum from
+    {!staircase_opt}.  Requires [n >= 2]. *)
+
+val staircase_opt : n:int -> float
+(** Optimal rectilinear Steiner arborescence cost for the Fig 11 staircase,
+    by interval dynamic programming over contiguous merges. *)
+
+val idom_graph : levels:int -> instance
+(** Fig 14: the set-cover macro-box gadget.  Two "good" boxes cover all
+    sinks at cost ≈ 2, while IDOM's greedy selects the [levels]
+    exponentially-shrinking decoy boxes for cost ≈ [levels] —
+    the Ω(log N) lower bound.  Requires [1 <= levels <= 16]. *)

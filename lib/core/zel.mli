@@ -1,0 +1,28 @@
+(** Zelikovsky's 11/6-approximation graph Steiner tree heuristic
+    (paper §8.2, Fig 18; reference [39]).
+
+    Greedily contracts terminal triples whose best Steiner point [v_z]
+    yields a positive MST "win", then hands the original terminals plus the
+    accumulated Steiner points to {!Kmb}. *)
+
+type memo
+(** Cache of per-triple Steiner points [(v_z, dist_z)].  The scan for the
+    best [v_z] is O(|V|) per triple; inside {!Igmst}'s Δ-loop the same
+    triples recur for every candidate, so memoizing them is the paper's
+    "factoring out common computations".  Stamped with the graph version —
+    stale entries are discarded automatically. *)
+
+val create_memo : unit -> memo
+
+val solve :
+  ?memo:memo ->
+  ?steiner_ok:(int -> bool) ->
+  Fr_graph.Dist_cache.t ->
+  terminals:int list ->
+  Fr_graph.Tree.t
+(** [steiner_ok] restricts which graph nodes may serve as triple Steiner
+    points (used with bounding-box pruning on large routing graphs).
+    @raise Routing_err.Unroutable when terminals cannot be spanned. *)
+
+val cost :
+  ?memo:memo -> ?steiner_ok:(int -> bool) -> Fr_graph.Dist_cache.t -> terminals:int list -> float

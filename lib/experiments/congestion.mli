@@ -1,0 +1,15 @@
+(** The congestion workload model of the paper's §5 grid experiments.
+
+    Starting from a unit-weight 20×20 grid, [k] uniformly distributed nets
+    of 2–5 pins are routed with KMB; the weight of every edge used by a
+    routed net is incremented by 1.  With k = 10 the average edge weight
+    lands near the paper's w̄ ≈ 1.28, with k = 20 near w̄ ≈ 1.55. *)
+
+val congested_grid :
+  ?width:int -> ?height:int -> Fr_util.Rng.t -> k:int -> Fr_graph.Grid.t
+(** Defaults: 20×20.  The pre-routing nets use the same generator as the
+    measured nets (uniform pins, 2–5 pins each). *)
+
+val levels : (string * int) list
+(** The paper's three congestion levels: none (k=0), low (k=10),
+    medium (k=20). *)

@@ -1,0 +1,131 @@
+module G = Fr_graph
+module C = Fr_core
+module Rng = Fr_util.Rng
+module Stats = Fr_util.Stats
+module Tab = Fr_util.Tab
+
+type alg_result = {
+  alg : string;
+  wire_pct : float;
+  path_pct : float;
+}
+
+type section = {
+  level : string;
+  k_preroutes : int;
+  mean_edge_weight : float;
+  by_size : (int * alg_result list) list;
+}
+
+let route_one rng ~k ~size =
+  (* A fresh congested grid per net, as in the paper. *)
+  let grid = Congestion.congested_grid rng ~k in
+  let g = grid.G.Grid.graph in
+  let terminals = G.Random_graph.random_net rng g ~k:size in
+  let net = C.Net.of_terminals terminals in
+  let cache = G.Dist_cache.create g in
+  let opt_path =
+    let r = G.Dist_cache.result cache ~src:net.C.Net.source in
+    List.fold_left (fun acc s -> max acc (G.Dijkstra.dist r s)) 0. net.C.Net.sinks
+  in
+  let results =
+    List.map
+      (fun alg ->
+        let tree = alg.C.Routing_alg.solve cache ~net in
+        let m = C.Eval.metrics cache ~net ~tree in
+        (alg.C.Routing_alg.name, m.C.Eval.cost, m.C.Eval.max_path))
+      C.Routing_alg.all
+  in
+  let kmb_cost =
+    match List.find_opt (fun (n, _, _) -> n = "KMB") results with
+    | Some (_, c, _) -> c
+    | None -> assert false
+  in
+  ( G.Wgraph.mean_edge_weight g,
+    List.map
+      (fun (name, cost, path) ->
+        (name, Stats.percent_vs cost kmb_cost, Stats.percent_vs path opt_path))
+      results )
+
+let run ?(nets_per_config = 50) ?(seed = 1) ?(sizes = [ 5; 8 ]) () =
+  List.map
+    (fun (level, k) ->
+      let weights = ref [] in
+      let by_size =
+        List.map
+          (fun size ->
+            let rng = Rng.make (seed + (1000 * k) + size) in
+            let per_alg = Hashtbl.create 8 in
+            for _ = 1 to nets_per_config do
+              let w, rows = route_one rng ~k ~size in
+              weights := w :: !weights;
+              List.iter
+                (fun (name, wire, path) ->
+                  let ws, ps =
+                    try Hashtbl.find per_alg name with Not_found -> ([], [])
+                  in
+                  Hashtbl.replace per_alg name (wire :: ws, path :: ps))
+                rows
+            done;
+            let rows =
+              List.map
+                (fun alg ->
+                  let name = alg.C.Routing_alg.name in
+                  let ws, ps = try Hashtbl.find per_alg name with Not_found -> ([], []) in
+                  { alg = name; wire_pct = Stats.mean ws; path_pct = Stats.mean ps })
+                C.Routing_alg.all
+            in
+            (size, rows))
+          sizes
+      in
+      { level; k_preroutes = k; mean_edge_weight = Stats.mean !weights; by_size })
+    Congestion.levels
+
+let to_table sections =
+  let t =
+    Tab.create
+      ~title:
+        "Table 1: average wirelength % (w.r.t. KMB) and max pathlength % (w.r.t. optimal)"
+      ~header:
+        [ "Algorithm"; "Wire5 meas"; "Wire5 paper"; "Path5 meas"; "Path5 paper"; "Wire8 meas";
+          "Wire8 paper"; "Path8 meas"; "Path8 paper" ]
+  in
+  List.iter
+    (fun s ->
+      Tab.add_separator t;
+      Tab.add_row t
+        [
+          Printf.sprintf "-- %s congestion (k=%d, measured w=%.2f)" s.level s.k_preroutes
+            s.mean_edge_weight;
+        ];
+      let find size alg =
+        match List.assoc_opt size s.by_size with
+        | None -> None
+        | Some rows -> List.find_opt (fun r -> r.alg = alg) rows
+      in
+      List.iter
+        (fun alg ->
+          let name = alg.C.Routing_alg.name in
+          let paper = Paper_data.table1_row ~level:s.level ~alg:name in
+          let cell f = Tab.fmt_signed f in
+          let paper_cell f = match paper with Some p -> Tab.fmt_signed (f p) | None -> "-" in
+          let m5 = find 5 name and m8 = find 8 name in
+          let meas_cell m f = match m with Some r -> cell (f r) | None -> "-" in
+          Tab.add_row t
+            [
+              name;
+              meas_cell m5 (fun r -> r.wire_pct);
+              paper_cell (fun p -> p.Paper_data.wire5);
+              meas_cell m5 (fun r -> r.path_pct);
+              paper_cell (fun p -> p.Paper_data.path5);
+              meas_cell m8 (fun r -> r.wire_pct);
+              paper_cell (fun p -> p.Paper_data.wire8);
+              meas_cell m8 (fun r -> r.path_pct);
+              paper_cell (fun p -> p.Paper_data.path8);
+            ])
+        C.Routing_alg.all)
+    sections;
+  Tab.add_note t
+    "Positive = worse (more wire / longer paths); arborescence algorithms are 0.00 on Path by \
+     construction.";
+  t

@@ -1,0 +1,29 @@
+(** Regeneration of the paper's Table 1.
+
+    For each congestion level (k ∈ {0, 10, 20} pre-routed nets) and net
+    size (5 and 8 pins), [nets_per_config] uniformly distributed nets are
+    routed on freshly congested 20×20 grids with all eight algorithms.
+    Per net, wirelength is normalized to KMB's and the maximum source–sink
+    pathlength to the optimal (the max shortest-path distance); the table
+    reports mean percentages, with positive = worse, exactly as the
+    paper. *)
+
+type alg_result = {
+  alg : string;
+  wire_pct : float;  (** mean wirelength % w.r.t. KMB *)
+  path_pct : float;  (** mean max-pathlength % w.r.t. optimal *)
+}
+
+type section = {
+  level : string;  (** none / low / medium *)
+  k_preroutes : int;
+  mean_edge_weight : float;  (** measured w̄ (averaged over instances) *)
+  by_size : (int * alg_result list) list;  (** net size -> rows *)
+}
+
+val run : ?nets_per_config:int -> ?seed:int -> ?sizes:int list -> unit -> section list
+(** Defaults: 50 nets per configuration (the paper's count), seed 1,
+    sizes [5; 8]. *)
+
+val to_table : section list -> Fr_util.Tab.t
+(** Paper-style rendering, with the published Table 1 values juxtaposed. *)

@@ -1,0 +1,54 @@
+(** Symmetrical-array FPGA architecture parameters (paper §2, Fig 1).
+
+    An architecture is an R×C array of logic blocks with routing channels
+    of [channel_width] tracks between them, switch blocks of flexibility
+    [fs] at channel intersections, and connection blocks that let each
+    logic-block pin reach [fc] tracks of the adjacent channel.
+
+    The two presets mirror the paper's experimental setups:
+    - Xilinx 3000-series (CGE's architecture): [fs = 6],
+      [fc = ⌈0.6·W⌉]  (Table 2);
+    - Xilinx 4000-series (SEGA/GBP's architecture): [fs = 3], [fc = W]
+      (Table 3 — the paper's §5 text says F_s=4 but Table 3's caption and
+      the SEGA architecture both use 3; we follow the caption). *)
+
+type series =
+  | Series_3000
+  | Series_4000
+
+type t = private {
+  name : string;
+  series : series;
+  rows : int;  (** logic-block rows (R) *)
+  cols : int;  (** logic-block columns (C) *)
+  channel_width : int;  (** W: tracks per channel *)
+  fs : int;  (** switch-block flexibility *)
+  fc : int;  (** connection-block flexibility, <= W *)
+  pin_slots : int;  (** pin nodes per block side (electrically distinct) *)
+}
+
+val make :
+  ?name:string ->
+  ?pin_slots:int ->
+  series:series ->
+  rows:int ->
+  cols:int ->
+  channel_width:int ->
+  fs:int ->
+  fc:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on non-positive dimensions, [channel_width < 1],
+    [fs < 1], or [fc] outside [1..channel_width]. *)
+
+val xc3000 : rows:int -> cols:int -> channel_width:int -> t
+(** [fs = 6], [fc = ⌈0.6·W⌉]. *)
+
+val xc4000 : rows:int -> cols:int -> channel_width:int -> t
+(** [fs = 3], [fc = W]. *)
+
+val with_channel_width : t -> int -> t
+(** Same architecture at a different channel width (recomputes the
+    series-dependent [fc]). *)
+
+val describe : t -> string

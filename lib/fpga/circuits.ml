@@ -1,0 +1,203 @@
+module Rng = Fr_util.Rng
+
+type published = {
+  cge : int option;
+  sega : int option;
+  gbp : int option;
+  ours_ikmb : int option;
+  ours_pfa : int option;
+  ours_idom : int option;
+  table5_width : int option;
+  table5_pfa_wire : float option;
+  table5_idom_wire : float option;
+  table5_pfa_path : float option;
+  table5_idom_path : float option;
+}
+
+type spec = {
+  circuit : string;
+  series : Arch.series;
+  rows : int;
+  cols : int;
+  nets_small : int;
+  nets_medium : int;
+  nets_large : int;
+  published : published;
+}
+
+let total_nets s = s.nets_small + s.nets_medium + s.nets_large
+
+let no_data =
+  {
+    cge = None;
+    sega = None;
+    gbp = None;
+    ours_ikmb = None;
+    ours_pfa = None;
+    ours_idom = None;
+    table5_width = None;
+    table5_pfa_wire = None;
+    table5_idom_wire = None;
+    table5_pfa_path = None;
+    table5_idom_path = None;
+  }
+
+let spec3000 circuit rows cols nets_small nets_medium nets_large ~cge ~ours =
+  {
+    circuit;
+    series = Arch.Series_3000;
+    rows;
+    cols;
+    nets_small;
+    nets_medium;
+    nets_large;
+    published = { no_data with cge = Some cge; ours_ikmb = Some ours };
+  }
+
+let spec4000 circuit rows cols nets_small nets_medium nets_large ~sega ~gbp ~ikmb ~pfa ~idom ~w5
+    ~pw ~iw ~pp ~ip =
+  {
+    circuit;
+    series = Arch.Series_4000;
+    rows;
+    cols;
+    nets_small;
+    nets_medium;
+    nets_large;
+    published =
+      {
+        cge = None;
+        sega = Some sega;
+        gbp = Some gbp;
+        ours_ikmb = Some ikmb;
+        ours_pfa = Some pfa;
+        ours_idom = Some idom;
+        table5_width = Some w5;
+        table5_pfa_wire = Some pw;
+        table5_idom_wire = Some iw;
+        table5_pfa_path = Some pp;
+        table5_idom_path = Some ip;
+      };
+  }
+
+(* Table 2 (3000-series, Fs=6, Fc=ceil(0.6W)). *)
+let specs_3000 =
+  [
+    spec3000 "busc" 12 13 115 28 8 ~cge:10 ~ours:7;
+    spec3000 "dma" 16 18 139 52 22 ~cge:10 ~ours:9;
+    spec3000 "bnre" 21 22 255 70 27 ~cge:12 ~ours:9;
+    spec3000 "dfsm" 22 23 361 26 33 ~cge:10 ~ours:9;
+    spec3000 "z03" 26 27 398 176 34 ~cge:13 ~ours:11;
+  ]
+
+(* Tables 3-5 (4000-series, Fs=3, Fc=W). *)
+let specs_4000 =
+  [
+    spec4000 "alu4" 19 17 165 69 21 ~sega:15 ~gbp:14 ~ikmb:11 ~pfa:14 ~idom:13 ~w5:14 ~pw:20.9
+      ~iw:15.8 ~pp:(-15.2) ~ip:(-16.9);
+    spec4000 "apex7" 12 10 83 30 2 ~sega:13 ~gbp:11 ~ikmb:10 ~pfa:11 ~idom:11 ~w5:11 ~pw:15.3
+      ~iw:9.2 ~pp:(-4.2) ~ip:(-6.8);
+    spec4000 "term1" 10 9 65 21 2 ~sega:10 ~gbp:10 ~ikmb:8 ~pfa:9 ~idom:9 ~w5:9 ~pw:11.4 ~iw:12.0
+      ~pp:(-6.2) ~ip:(-2.0);
+    spec4000 "example2" 14 12 171 25 9 ~sega:17 ~gbp:13 ~ikmb:11 ~pfa:13 ~idom:13 ~w5:13 ~pw:13.1
+      ~iw:8.1 ~pp:(-4.6) ~ip:(-5.6);
+    spec4000 "too_large" 14 14 128 46 12 ~sega:12 ~gbp:12 ~ikmb:10 ~pfa:12 ~idom:12 ~w5:12
+      ~pw:17.9 ~iw:15.2 ~pp:(-9.7) ~ip:(-9.4);
+    spec4000 "k2" 22 20 241 146 17 ~sega:17 ~gbp:17 ~ikmb:15 ~pfa:17 ~idom:17 ~w5:17 ~pw:24.5
+      ~iw:17.6 ~pp:(-7.1) ~ip:(-7.2);
+    spec4000 "vda" 17 16 132 80 13 ~sega:13 ~gbp:13 ~ikmb:12 ~pfa:14 ~idom:13 ~w5:14 ~pw:18.7
+      ~iw:11.9 ~pp:(-9.9) ~ip:(-11.5);
+    spec4000 "9symml" 11 10 60 11 8 ~sega:10 ~gbp:9 ~ikmb:8 ~pfa:9 ~idom:8 ~w5:9 ~pw:18.3 ~iw:11.4
+      ~pp:(-14.0) ~ip:(-14.4);
+    spec4000 "alu2" 15 13 109 26 18 ~sega:11 ~gbp:11 ~ikmb:9 ~pfa:11 ~idom:10 ~w5:11 ~pw:23.9
+      ~iw:14.1 ~pp:(-14.7) ~ip:(-18.0);
+  ]
+
+let all_specs = specs_3000 @ specs_4000
+
+let find_spec name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii s.circuit = lower) all_specs
+
+let arch_for s ~channel_width =
+  match s.series with
+  | Arch.Series_3000 -> Arch.xc3000 ~rows:s.rows ~cols:s.cols ~channel_width
+  | Arch.Series_4000 -> Arch.xc4000 ~rows:s.rows ~cols:s.cols ~channel_width
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pin_slots_per_side = 2 (* must match Arch default *)
+
+(* Pin counts within each published bucket: small nets lean to 2 pins,
+   medium to the low end, large nets have a geometric tail. *)
+let draw_pins rng = function
+  | `Small -> if Rng.int rng 10 < 6 then 2 else 3
+  | `Medium ->
+      let rec tail k = if k >= 10 || Rng.int rng 2 = 0 then k else tail (k + 1) in
+      tail 4
+  | `Large ->
+      let rec tail k = if k >= 30 || Rng.int rng 4 < 3 then k else tail (k + 2) in
+      tail 11
+
+(* Bounding-box halfwidth for a k-pin net: local nets cluster near a seed
+   block; ~8% are chip-spanning (clocks, resets). *)
+let draw_halfwidth rng ~rows ~cols k =
+  if Rng.int rng 100 < 8 then max rows cols
+  else begin
+    let base = 1 + int_of_float (ceil (sqrt (float_of_int k))) in
+    base + Rng.int rng 3
+  end
+
+let generate s =
+  let rng = Rng.of_name s.circuit in
+  let taken = Hashtbl.create 4096 in
+  let free_pins_in_box ~r0 ~r1 ~c0 ~c1 =
+    let acc = ref [] in
+    for row = max 0 r0 to min (s.rows - 1) r1 do
+      for col = max 0 c0 to min (s.cols - 1) c1 do
+        List.iter
+          (fun side ->
+            for slot = 0 to pin_slots_per_side - 1 do
+              let p = { Netlist.row; col; side; slot } in
+              if not (Hashtbl.mem taken p) then acc := p :: !acc
+            done)
+          Rrg.all_sides
+      done
+    done;
+    !acc
+  in
+  let make_one_net idx bucket =
+    let k = draw_pins rng bucket in
+    let seed_r = Rng.int rng s.rows and seed_c = Rng.int rng s.cols in
+    let rec with_halfwidth h =
+      let free =
+        free_pins_in_box ~r0:(seed_r - h) ~r1:(seed_r + h) ~c0:(seed_c - h) ~c1:(seed_c + h)
+      in
+      if List.length free < k && h < s.rows + s.cols then with_halfwidth (h + 1)
+      else begin
+        let arr = Array.of_list free in
+        Rng.shuffle rng arr;
+        Array.to_list (Array.sub arr 0 k)
+      end
+    in
+    let pins = with_halfwidth (draw_halfwidth rng ~rows:s.rows ~cols:s.cols k) in
+    List.iter (fun p -> Hashtbl.replace taken p ()) pins;
+    match pins with
+    | source :: sinks -> Netlist.make_net ~name:(Printf.sprintf "n%d" idx) ~source ~sinks
+    | [] -> assert false
+  in
+  let buckets =
+    List.concat
+      [
+        List.init s.nets_small (fun _ -> `Small);
+        List.init s.nets_medium (fun _ -> `Medium);
+        List.init s.nets_large (fun _ -> `Large);
+      ]
+  in
+  (* Interleave bucket order so pin slots don't fill up region-by-region. *)
+  let order = Array.of_list buckets in
+  Rng.shuffle rng order;
+  let nets = Array.to_list (Array.mapi make_one_net order) in
+  { Netlist.circuit_name = s.circuit; rows = s.rows; cols = s.cols; nets }

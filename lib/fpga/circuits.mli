@@ -1,0 +1,58 @@
+(** The fourteen industry benchmark circuits of Tables 2–5, as synthetic
+    reconstructions.
+
+    The original netlists (obtained by the authors from Rose/Brown) are not
+    redistributable, so each circuit is regenerated from its *published
+    statistics* — array size, net count, and pin-count histogram — with a
+    locality model (net pins cluster in a bounding box around a seed block,
+    with a small fraction of chip-spanning nets) and a per-circuit
+    deterministic seed.  Every published statistic of the original is
+    matched exactly; see DESIGN.md §3 for why this preserves the paper's
+    comparisons. *)
+
+type published = {
+  cge : int option;  (** Table 2: CGE's channel width (3000-series) *)
+  sega : int option;  (** Tables 3–4: SEGA's channel width (4000-series) *)
+  gbp : int option;  (** Tables 3–4: GBP's channel width *)
+  ours_ikmb : int option;  (** the paper's router with IKMB *)
+  ours_pfa : int option;  (** Table 4: the paper's router with PFA *)
+  ours_idom : int option;  (** Table 4: the paper's router with IDOM *)
+  table5_width : int option;  (** Table 5's common fixed channel width *)
+  table5_pfa_wire : float option;  (** Table 5: PFA wirelength increase % *)
+  table5_idom_wire : float option;
+  table5_pfa_path : float option;  (** Table 5: PFA max-path decrease % *)
+  table5_idom_path : float option;
+}
+
+type spec = {
+  circuit : string;
+  series : Arch.series;
+  rows : int;
+  cols : int;
+  nets_small : int;  (** 2–3 pins *)
+  nets_medium : int;  (** 4–10 pins *)
+  nets_large : int;  (** over 10 pins *)
+  published : published;
+}
+
+val total_nets : spec -> int
+
+val specs_3000 : spec list
+(** busc, dma, bnre, dfsm, z03 (Table 2 rows, in order). *)
+
+val specs_4000 : spec list
+(** alu4, apex7, term1, example2, too_large, k2, vda, 9symml, alu2
+    (Table 3 rows, in order). *)
+
+val all_specs : spec list
+
+val find_spec : string -> spec option
+(** Case-insensitive by circuit name. *)
+
+val generate : spec -> Netlist.circuit
+(** Deterministic synthetic circuit matching the spec's statistics; the
+    result always passes {!Netlist.validate} and has exactly the published
+    pin-count histogram. *)
+
+val arch_for : spec -> channel_width:int -> Arch.t
+(** The series-appropriate architecture preset at the given width. *)

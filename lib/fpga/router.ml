@@ -1,0 +1,337 @@
+module G = Fr_graph
+module C = Fr_core
+
+type strategy =
+  | Tree_alg of C.Routing_alg.t
+  | Two_pin_decomposition
+
+type config = {
+  strategy : strategy;
+  critical_strategy : (Netlist.net -> bool) option;
+  critical_alg : C.Routing_alg.t;
+  max_passes : int;
+  congestion_increment : float;
+  bbox_margin : float;
+  max_candidates : int;
+}
+
+let default_config =
+  {
+    strategy = Tree_alg C.Routing_alg.ikmb;
+    critical_strategy = None;
+    critical_alg = C.Routing_alg.idom;
+    max_passes = 20;
+    congestion_increment = 3.0;
+    bbox_margin = 3.;
+    max_candidates = 2500;
+  }
+
+let config_with ?alg ?max_passes () =
+  let cfg = default_config in
+  let cfg = match alg with Some a -> { cfg with strategy = Tree_alg a } | None -> cfg in
+  match max_passes with Some p -> { cfg with max_passes = p } | None -> cfg
+
+type routed_net = {
+  net : Netlist.net;
+  tree : G.Tree.t;
+  wires_used : float;
+  max_path : float;
+}
+
+type stats = {
+  passes : int;
+  routed : routed_net list;
+  total_wirelength : float;
+  total_max_path : float;
+  peak_occupancy : int;
+}
+
+type failure = {
+  failed_nets : string list;
+  passes_tried : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Graph state snapshot (weights + enables), restored between passes.  *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  weights : float array;
+  nodes_on : bool array;
+  edges_on : bool array;
+}
+
+let take_snapshot g =
+  {
+    weights = Array.init (G.Wgraph.num_edges g) (G.Wgraph.weight g);
+    nodes_on = Array.init (G.Wgraph.num_nodes g) (G.Wgraph.node_enabled g);
+    edges_on = Array.init (G.Wgraph.num_edges g) (G.Wgraph.edge_enabled g);
+  }
+
+let restore g snap =
+  Array.iteri
+    (fun e w ->
+      if G.Wgraph.weight g e <> w then G.Wgraph.set_weight g e w;
+      if G.Wgraph.edge_enabled g e <> snap.edges_on.(e) then
+        if snap.edges_on.(e) then G.Wgraph.enable_edge g e else G.Wgraph.disable_edge g e)
+    snap.weights;
+  Array.iteri
+    (fun v on ->
+      if G.Wgraph.node_enabled g v <> on then
+        if on then G.Wgraph.enable_node g v else G.Wgraph.disable_node g v)
+    snap.nodes_on
+
+(* ------------------------------------------------------------------ *)
+(* Net ordering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let half_perimeter net =
+  let c0, r0, c1, r1 = Netlist.bounding_box net in
+  c1 - c0 + (r1 - r0)
+
+let initial_order nets =
+  List.stable_sort
+    (fun a b ->
+      match compare (Netlist.pin_count b) (Netlist.pin_count a) with
+      | 0 -> (
+          match compare (half_perimeter b) (half_perimeter a) with
+          | 0 -> compare a.Netlist.net_name b.Netlist.net_name
+          | c -> c)
+      | c -> c)
+    nets
+
+let move_to_front failed order =
+  let is_failed n = List.mem n.Netlist.net_name failed in
+  let front, back = List.partition is_failed order in
+  front @ back
+
+(* ------------------------------------------------------------------ *)
+(* Per-net routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bbox_pred rrg cfg net =
+  let c0, r0, c1, r1 = Netlist.bounding_box net in
+  let m = cfg.bbox_margin in
+  let x0 = float_of_int c0 -. m
+  and x1 = float_of_int (c1 + 1) +. m
+  and y0 = float_of_int r0 -. m
+  and y1 = float_of_int (r1 + 1) +. m in
+  fun v ->
+    let x, y = Rrg.pos rrg v in
+    x >= x0 && x <= x1 && y >= y0 && y <= y1
+
+(* Candidate Steiner nodes: wire nodes inside the bounding box, thinned to
+   the configured cap. *)
+let candidates_for rrg cfg pred =
+  let acc = ref [] in
+  let count = ref 0 in
+  for v = Rrg.num_wires rrg - 1 downto 0 do
+    if G.Wgraph.node_enabled rrg.Rrg.graph v && pred v then begin
+      acc := v :: !acc;
+      incr count
+    end
+  done;
+  if !count <= cfg.max_candidates then !acc
+  else begin
+    let stride = 1 + (!count / cfg.max_candidates) in
+    List.filteri (fun i _ -> i mod stride = 0) !acc
+  end
+
+let solve_tree_alg alg rrg cfg net ~restricted =
+  let g = rrg.Rrg.graph in
+  let cnet = Netlist.rrg_net rrg net in
+  if restricted then begin
+    let pred = bbox_pred rrg cfg net in
+    let cache = G.Dist_cache.create ~restrict:pred g in
+    let candidates = candidates_for rrg cfg pred in
+    alg.C.Routing_alg.solve ~candidates cache ~net:cnet
+  end
+  else begin
+    let cache = G.Dist_cache.create g in
+    let candidates = candidates_for rrg cfg (fun _ -> true) in
+    alg.C.Routing_alg.solve ~candidates cache ~net:cnet
+  end
+
+(* The CGE/SEGA/GBP-style baseline: each source-sink connection is routed
+   as an independent two-pin net on its own wires. *)
+let solve_two_pin rrg cfg net ~restricted =
+  let g = rrg.Rrg.graph in
+  let cnet = Netlist.rrg_net rrg net in
+  let src = cnet.C.Net.source in
+  let restrict = if restricted then Some (bbox_pred rrg cfg net) else None in
+  let committed = ref [] in
+  let undo () = List.iter (G.Wgraph.enable_node g) !committed in
+  let route_sink edges sink =
+    let r = G.Dijkstra.run ?restrict g ~src in
+    if not (G.Dijkstra.reachable r sink) then begin
+      undo ();
+      C.Routing_err.fail "two-pin"
+    end;
+    let path = G.Dijkstra.path_edges r sink in
+    (* Claim this connection's wires so the next connection cannot reuse
+       them — the decomposition's inefficiency. *)
+    List.iter
+      (fun v ->
+        if Rrg.is_wire rrg v then begin
+          G.Wgraph.disable_node g v;
+          committed := v :: !committed
+        end)
+      (G.Dijkstra.path_nodes r sink);
+    path @ edges
+  in
+  let edges = List.fold_left route_sink [] cnet.C.Net.sinks in
+  undo ();
+  G.Tree.of_edges edges
+
+let solve_net cfg rrg net ~restricted =
+  let critical = match cfg.critical_strategy with Some p -> p net | None -> false in
+  if critical then solve_tree_alg cfg.critical_alg rrg cfg net ~restricted
+  else
+    match cfg.strategy with
+    | Tree_alg alg -> solve_tree_alg alg rrg cfg net ~restricted
+    | Two_pin_decomposition -> solve_two_pin rrg cfg net ~restricted
+
+(* Commit a routed net: consume its resources and add congestion pressure
+   around the channel segments it used. *)
+let commit cfg rrg net tree =
+  let g = rrg.Rrg.graph in
+  let w = rrg.Rrg.arch.Arch.channel_width in
+  let used_nodes = G.Tree.nodes g tree in
+  let touched_segments =
+    List.filter_map (fun v -> Rrg.segment_of_node rrg v) used_nodes |> List.sort_uniq compare
+  in
+  (* Disable consumed wires and the net's own pins. *)
+  List.iter (fun v -> if Rrg.is_wire rrg v then G.Wgraph.disable_node g v) used_nodes;
+  List.iter
+    (fun p ->
+      G.Wgraph.disable_node g (Rrg.pin rrg ~row:p.Netlist.row ~col:p.Netlist.col ~side:p.Netlist.side ~slot:p.Netlist.slot))
+    (Netlist.net_pins net);
+  (* Congestion: edges incident to the remaining free wires of each touched
+     segment become more expensive, proportional to the new occupancy. *)
+  let inc = cfg.congestion_increment /. float_of_int w in
+  List.iter
+    (fun seg ->
+      List.iter
+        (fun wire ->
+          if G.Wgraph.node_enabled g wire then begin
+            let edges = G.Wgraph.fold_adj g wire (fun acc e _ _ -> e :: acc) [] in
+            List.iter (fun e -> G.Wgraph.add_weight g e inc) edges
+          end)
+        (Rrg.wires_of_segment rrg seg))
+    touched_segments
+
+(* Max source-sink pathlength of a routed tree measured with the
+   pre-congestion base weights (physical wirelength along the path). *)
+let base_max_path snap g tree ~net_src ~sinks =
+  let adj = Hashtbl.create 64 in
+  let add u x =
+    let cur = try Hashtbl.find adj u with Not_found -> [] in
+    Hashtbl.replace adj u (x :: cur)
+  in
+  List.iter
+    (fun e ->
+      let u, v = G.Wgraph.endpoints g e in
+      add u (v, snap.weights.(e));
+      add v (u, snap.weights.(e)))
+    tree.G.Tree.edges;
+  let dist = Hashtbl.create 64 in
+  let rec dfs u d =
+    Hashtbl.replace dist u d;
+    List.iter
+      (fun (v, w) -> if not (Hashtbl.mem dist v) then dfs v (d +. w))
+      (try Hashtbl.find adj u with Not_found -> [])
+  in
+  dfs net_src 0.;
+  List.fold_left
+    (fun acc s -> match Hashtbl.find_opt dist s with Some d -> max acc d | None -> acc)
+    0. sinks
+
+(* ------------------------------------------------------------------ *)
+(* Passes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let route_one_pass cfg rrg order snap =
+  let g = rrg.Rrg.graph in
+  let routed = ref [] and failed = ref [] in
+  List.iter
+    (fun net ->
+      let attempt restricted =
+        match solve_net cfg rrg net ~restricted with
+        | tree -> Some tree
+        | exception C.Routing_err.Unroutable _ -> None
+      in
+      match (match attempt true with Some t -> Some t | None -> attempt false) with
+      | None -> failed := net.Netlist.net_name :: !failed
+      | Some tree ->
+          let cnet = Netlist.rrg_net rrg net in
+          let max_path =
+            base_max_path snap g tree ~net_src:cnet.C.Net.source ~sinks:cnet.C.Net.sinks
+          in
+          let wires_used = Rrg.wirelength rrg tree in
+          commit cfg rrg net tree;
+          routed := { net; tree; wires_used; max_path } :: !routed)
+    order;
+  (List.rev !routed, List.rev !failed)
+
+let peak_occupancy rrg =
+  List.fold_left (fun acc seg -> max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
+
+let route ?(config = default_config) rrg circuit =
+  (match Netlist.validate circuit with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Router.route: " ^ msg));
+  if circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
+  then invalid_arg "Router.route: circuit does not fit architecture";
+  let snap = take_snapshot rrg.Rrg.graph in
+  (* Early cutoff: if the number of failing nets has not improved for
+     [stall_limit] consecutive passes, the width is hopeless — declaring
+     failure early saves most of the downward-infeasible probes. *)
+  let stall_limit = 6 in
+  let rec passes order n ~best ~stalled =
+    restore rrg.Rrg.graph snap;
+    let routed, failed = route_one_pass config rrg order snap in
+    if failed = [] then
+      Ok
+        {
+          passes = n;
+          routed;
+          total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
+          total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
+          peak_occupancy = peak_occupancy rrg;
+        }
+    else begin
+      let count = List.length failed in
+      let best, stalled = if count < best then (count, 0) else (best, stalled + 1) in
+      if n >= config.max_passes || stalled >= stall_limit then
+        Error { failed_nets = failed; passes_tried = n }
+      else passes (move_to_front failed order) (n + 1) ~best ~stalled
+    end
+  in
+  passes (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
+
+let min_channel_width ?(config = default_config) ~arch_of_width ~circuit ~start ?max_width () =
+  let max_width = match max_width with Some m -> m | None -> start + 15 in
+  let try_width w =
+    let rrg = Rrg.build (arch_of_width w) in
+    match route ~config rrg circuit with Ok stats -> Some stats | Error _ -> None
+  in
+  let rec descend w best =
+    if w < 1 then best
+    else
+      match try_width w with
+      | Some stats -> descend (w - 1) (Some (w, stats))
+      | None -> best
+  in
+  let rec ascend w =
+    if w > max_width then None
+    else
+      match try_width w with
+      | Some stats -> Some (w, stats)
+      | None -> ascend (w + 1)
+  in
+  match try_width start with
+  | Some stats -> (
+      match descend (start - 1) (Some (start, stats)) with
+      | Some _ as r -> r
+      | None -> Some (start, stats))
+  | None -> ascend (start + 1)

@@ -1,0 +1,84 @@
+(** The detailed FPGA router (paper §5).
+
+    Nets are routed one at a time on the routing-resource graph with any of
+    the paper's constructions.  After each net: the consumed wires and pins
+    are disabled (subsequent nets stay electrically disjoint) and edge
+    weights around the used channel segments are increased to reflect
+    congestion.  When some nets cannot be routed, a pass fails; the failed
+    nets move to the front of the ordering (the paper's move-to-front
+    heuristic) and the whole circuit is re-routed, up to [max_passes]
+    passes (the paper's feasibility threshold of 20), after which the
+    circuit is declared unroutable at that channel width.
+
+    Steiner-candidate scans are pruned to the net's bounding box plus
+    [bbox_margin] blocks; if a net fails under pruning it is retried on the
+    full graph before being counted as failed. *)
+
+type strategy =
+  | Tree_alg of Fr_core.Routing_alg.t
+      (** route each multi-pin net as one unit (the paper's approach) *)
+  | Two_pin_decomposition
+      (** break nets into independent source–sink connections — the
+          strategy of CGE/SEGA/GBP that the paper credits its channel-width
+          win against *)
+
+type config = {
+  strategy : strategy;
+  critical_strategy : (Netlist.net -> bool) option;
+      (** §2's net classification: nets satisfying the predicate are
+          "critical" and routed with [critical_alg] (shortest paths first),
+          the rest with [strategy].  [None] (default) routes everything
+          with [strategy]. *)
+  critical_alg : Fr_core.Routing_alg.t;  (** default IDOM *)
+  max_passes : int;  (** default 20 *)
+  congestion_increment : float;
+      (** weight added (scaled by 1/W) to edges near a consumed wire's
+          channel segment; default 3.0 — strong pressure spreads nets
+          across channels and measurably lowers achievable widths *)
+  bbox_margin : float;  (** candidate/search pruning margin in blocks; default 3. *)
+  max_candidates : int;  (** cap on Steiner-candidate scans; default 2500 *)
+}
+
+val default_config : config
+
+val config_with : ?alg:Fr_core.Routing_alg.t -> ?max_passes:int -> unit -> config
+
+type routed_net = {
+  net : Netlist.net;
+  tree : Fr_graph.Tree.t;
+  wires_used : float;  (** wirelength in wire segments *)
+  max_path : float;  (** max source–sink pathlength (base weights) *)
+}
+
+type stats = {
+  passes : int;
+  routed : routed_net list;
+  total_wirelength : float;
+  total_max_path : float;
+  peak_occupancy : int;  (** max wires consumed in any channel segment *)
+}
+
+type failure = {
+  failed_nets : string list;  (** nets still failing in the last pass *)
+  passes_tried : int;
+}
+
+val route : ?config:config -> Rrg.t -> Netlist.circuit -> (stats, failure) result
+(** Routes the whole circuit.  The RRG is left in the final pass's state
+    (useful for rendering); weights and enable flags are snapshotted at
+    entry and restored between passes.
+    @raise Invalid_argument when the circuit does not fit the RRG or does
+    not validate. *)
+
+val min_channel_width :
+  ?config:config ->
+  arch_of_width:(int -> Arch.t) ->
+  circuit:Netlist.circuit ->
+  start:int ->
+  ?max_width:int ->
+  unit ->
+  (int * stats) option
+(** Smallest channel width at which the circuit routes completely: probes
+    downward from [start] while feasible, or upward until [max_width]
+    (default [start + 15]) when [start] itself fails.  [None] if even
+    [max_width] fails. *)

@@ -1,0 +1,209 @@
+module G = Fr_graph
+
+type side =
+  | North
+  | East
+  | South
+  | West
+
+let side_index = function North -> 0 | East -> 1 | South -> 2 | West -> 3
+
+let side_of_index = function
+  | 0 -> North
+  | 1 -> East
+  | 2 -> South
+  | 3 -> West
+  | _ -> invalid_arg "Rrg.side_of_index"
+
+let all_sides = [ North; East; South; West ]
+
+type seg =
+  | H of int * int
+  | V of int * int
+
+type kind =
+  | Wire of seg * int
+  | Pin of int * int * side * int
+
+type t = {
+  arch : Arch.t;
+  graph : G.Wgraph.t;
+}
+
+(* Node layout: horizontal wires, then vertical wires, then pins. *)
+
+let dims a = (a.Arch.rows, a.Arch.cols, a.Arch.channel_width, a.Arch.pin_slots)
+
+let n_hwires a =
+  let r, c, w, _ = dims a in
+  (r + 1) * c * w
+
+let n_vwires a =
+  let r, c, w, _ = dims a in
+  (c + 1) * r * w
+
+let n_pins a =
+  let r, c, _, s = dims a in
+  r * c * 4 * s
+
+let hwire_id a ~y ~x ~track =
+  let r, c, w, _ = dims a in
+  if y < 0 || y > r || x < 0 || x >= c || track < 0 || track >= w then
+    invalid_arg "Rrg.hwire: out of range";
+  (((y * c) + x) * w) + track
+
+let vwire_id a ~x ~y ~track =
+  let r, c, w, _ = dims a in
+  if x < 0 || x > c || y < 0 || y >= r || track < 0 || track >= w then
+    invalid_arg "Rrg.vwire: out of range";
+  n_hwires a + (((x * r) + y) * w) + track
+
+let pin_id a ~row ~col ~side ~slot =
+  let r, c, _, s = dims a in
+  if row < 0 || row >= r || col < 0 || col >= c || slot < 0 || slot >= s then
+    invalid_arg "Rrg.pin: out of range";
+  n_hwires a + n_vwires a + ((((row * c) + col) * 4 + side_index side) * s) + slot
+
+let hwire t ~y ~x ~track = hwire_id t.arch ~y ~x ~track
+let vwire t ~x ~y ~track = vwire_id t.arch ~x ~y ~track
+let pin t ~row ~col ~side ~slot = pin_id t.arch ~row ~col ~side ~slot
+
+let kind t v =
+  let a = t.arch in
+  let r, c, w, s = dims a in
+  let nh = n_hwires a and nv = n_vwires a in
+  if v < 0 || v >= nh + nv + n_pins a then invalid_arg "Rrg.kind: node out of range";
+  if v < nh then begin
+    let track = v mod w and seg = v / w in
+    let x = seg mod c and y = seg / c in
+    Wire (H (y, x), track)
+  end
+  else if v < nh + nv then begin
+    let v' = v - nh in
+    let track = v' mod w and seg = v' / w in
+    let y = seg mod r and x = seg / r in
+    Wire (V (x, y), track)
+  end
+  else begin
+    let v' = v - nh - nv in
+    let slot = v' mod s in
+    let rest = v' / s in
+    let side = side_of_index (rest mod 4) in
+    let blk = rest / 4 in
+    Pin (blk / c, blk mod c, side, slot)
+  end
+
+let num_wires t = n_hwires t.arch + n_vwires t.arch
+
+let is_wire t v = v < num_wires t
+
+let pos t v =
+  match kind t v with
+  | Wire (H (y, x), _) -> (float_of_int x +. 0.5, float_of_int y)
+  | Wire (V (x, y), _) -> (float_of_int x, float_of_int y +. 0.5)
+  | Pin (row, col, _, _) -> (float_of_int col +. 0.5, float_of_int row +. 0.5)
+
+let wires_of_segment t seg =
+  let w = t.arch.Arch.channel_width in
+  match seg with
+  | H (y, x) -> List.init w (fun track -> hwire t ~y ~x ~track)
+  | V (x, y) -> List.init w (fun track -> vwire t ~x ~y ~track)
+
+let segment_of_node t v = match kind t v with Wire (seg, _) -> Some seg | Pin _ -> None
+
+let segments t =
+  let r, c, _, _ = dims t.arch in
+  let acc = ref [] in
+  for y = 0 to r do
+    for x = 0 to c - 1 do
+      acc := H (y, x) :: !acc
+    done
+  done;
+  for x = 0 to c do
+    for y = 0 to r - 1 do
+      acc := V (x, y) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let segment_occupancy t seg =
+  List.fold_left
+    (fun n v -> if G.Wgraph.node_enabled t.graph v then n else n + 1)
+    0 (wires_of_segment t seg)
+
+let wirelength t tree =
+  let used = G.Tree.nodes t.graph tree in
+  float_of_int (List.length (List.filter (is_wire t) used))
+
+(* Switch-block construction: at intersection (x, y) the four incident
+   channel segments are joined pairwise; each wire is offered
+   [per_side = fs/3 (rounded up)] target tracks on each other side, with a
+   rotating offset so fs=3 is the disjoint pattern and fs=6 doubles it. *)
+let build ?(jog_penalty = 0.) arch =
+  if jog_penalty < 0. then invalid_arg "Rrg.build: negative jog penalty";
+  let r, c, w, s = dims arch in
+  let n = n_hwires arch + n_vwires arch + n_pins arch in
+  let g = G.Wgraph.create n in
+  (* [`H] / [`V] tag the side orientation so turning connections can carry
+     the jog penalty. *)
+  let wire_wire ou u ov v =
+    let extra = if ou <> ov then jog_penalty else 0. in
+    ignore (G.Wgraph.add_edge g u v (1.0 +. extra))
+  in
+  let pin_wire u v = ignore (G.Wgraph.add_edge g u v 0.5) in
+  let per_side = max 1 ((arch.Arch.fs + 2) / 3) in
+  for x = 0 to c do
+    for y = 0 to r do
+      (* incident segment accessors, None when at the device boundary *)
+      let west =
+        if x >= 1 then Some (`H, fun track -> hwire_id arch ~y ~x:(x - 1) ~track) else None
+      in
+      let east = if x <= c - 1 then Some (`H, fun track -> hwire_id arch ~y ~x ~track) else None in
+      let south =
+        if y >= 1 then Some (`V, fun track -> vwire_id arch ~x ~y:(y - 1) ~track) else None
+      in
+      let north = if y <= r - 1 then Some (`V, fun track -> vwire_id arch ~x ~y ~track) else None in
+      let sides = List.filter_map (fun o -> o) [ west; east; south; north ] in
+      let rec join = function
+        | [] -> ()
+        | (oa, a) :: rest ->
+            List.iter
+              (fun (ob, b) ->
+                for track = 0 to w - 1 do
+                  for o = 0 to per_side - 1 do
+                    let target = (track + o) mod w in
+                    wire_wire oa (a track) ob (b target)
+                  done
+                done)
+              rest;
+            join rest
+      in
+      join sides
+    done
+  done;
+  (* Connection blocks: each pin reaches fc evenly spaced tracks of its
+     adjacent channel segment, with a position-dependent stagger. *)
+  let fc = arch.Arch.fc in
+  for row = 0 to r - 1 do
+    for col = 0 to c - 1 do
+      List.iter
+        (fun side ->
+          let seg_wire =
+            match side with
+            | North -> fun track -> hwire_id arch ~y:(row + 1) ~x:col ~track
+            | South -> fun track -> hwire_id arch ~y:row ~x:col ~track
+            | West -> fun track -> vwire_id arch ~x:col ~y:row ~track
+            | East -> fun track -> vwire_id arch ~x:(col + 1) ~y:row ~track
+          in
+          for slot = 0 to s - 1 do
+            let p = pin_id arch ~row ~col ~side ~slot in
+            let stagger = (row + col + side_index side + slot) mod w in
+            for i = 0 to fc - 1 do
+              let track = ((i * w / fc) + stagger) mod w in
+              pin_wire p (seg_wire track)
+            done
+          done)
+        all_sides
+    done
+  done;
+  { arch; graph = g }

@@ -1,0 +1,82 @@
+(** Routing-resource graph for symmetrical-array FPGAs (paper §2, Fig 2).
+
+    The graph mirrors the complete FPGA architecture: one node per channel
+    wire segment (channel segment × track) and one node per logic-block pin;
+    edges are programmable switches (switch-block connections between wires,
+    following the architecture's [fs] pattern) and connection-block switches
+    (pin to [fc] tracks of the adjacent channel).  Paths in this graph
+    correspond exactly to feasible routes on the FPGA.
+
+    Edge weights count wirelength: wire–wire switches weigh 1.0 and
+    pin–wire connections 0.5, so the cost of a pin-to-pin path equals the
+    number of wire segments it occupies.  The router adds congestion on top
+    of these base weights and disables consumed nodes.
+
+    Geometry: logic block (r,c) occupies the cell between horizontal
+    channels y=r (south) and y=r+1 (north) and vertical channels x=c (west)
+    and x=c+1 (east).  Horizontal channel y ∈ [0..R] has C segments;
+    vertical channel x ∈ [0..C] has R segments. *)
+
+type side =
+  | North
+  | East
+  | South
+  | West
+
+val side_index : side -> int
+val side_of_index : int -> side
+val all_sides : side list
+
+type seg =
+  | H of int * int  (** H (y, x): horizontal channel y, segment x *)
+  | V of int * int  (** V (x, y): vertical channel x, segment y *)
+
+type kind =
+  | Wire of seg * int  (** segment and track *)
+  | Pin of int * int * side * int  (** row, col, side, slot *)
+
+type t = private {
+  arch : Arch.t;
+  graph : Fr_graph.Wgraph.t;
+}
+
+val build : ?jog_penalty:float -> Arch.t -> t
+(** [jog_penalty] (default 0.) is added to every switch edge that turns a
+    route between a horizontal and a vertical wire — the jog-minimization
+    objective of the authors' multi-weighted-graph routing framework
+    (paper references [4, 7]).  Straight-through and pin connections are
+    unaffected. *)
+
+val hwire : t -> y:int -> x:int -> track:int -> int
+val vwire : t -> x:int -> y:int -> track:int -> int
+
+val pin : t -> row:int -> col:int -> side:side -> slot:int -> int
+(** @raise Invalid_argument out of range. *)
+
+val kind : t -> int -> kind
+
+val num_wires : t -> int
+(** Total number of wire nodes (pins excluded). *)
+
+val is_wire : t -> int -> bool
+
+val pos : t -> int -> float * float
+(** Approximate (x, y) position in block coordinates, for bounding-box
+    candidate pruning. *)
+
+val wires_of_segment : t -> seg -> int list
+(** All W wire nodes of a channel segment (enabled or not). *)
+
+val segment_of_node : t -> int -> seg option
+(** [None] for pin nodes. *)
+
+val segments : t -> seg list
+(** Every channel segment of the device. *)
+
+val segment_occupancy : t -> seg -> int
+(** Number of consumed (disabled) wires in the segment — the channel-width
+    pressure the router tracks. *)
+
+val wirelength : t -> Fr_graph.Tree.t -> float
+(** Number of wire nodes a routed tree occupies (the paper's wirelength on
+    FPGAs). *)

@@ -1,0 +1,61 @@
+type result = {
+  src : int;
+  dist : float array;
+  parent_edge : int array;
+  parent_node : int array;
+}
+
+let run ?restrict ?edge_ok g ~src =
+  let n = Wgraph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
+  let dist = Array.make n infinity in
+  let parent_edge = Array.make n (-1) in
+  let parent_node = Array.make n (-1) in
+  let settled = Array.make n false in
+  let allowed u = match restrict with None -> true | Some p -> u = src || p u in
+  let edge_allowed e = match edge_ok with None -> true | Some p -> p e in
+  let heap = Heap.create ~capacity:(2 * n) () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          (* [d] can be stale only if u was reachable more cheaply, in which
+             case settled.(u) was already set.  Here d = dist.(u). *)
+          Wgraph.iter_adj g u (fun e v w ->
+              if (not settled.(v)) && allowed v && edge_allowed e then begin
+                let nd = d +. w in
+                if nd < dist.(v) then begin
+                  dist.(v) <- nd;
+                  parent_edge.(v) <- e;
+                  parent_node.(v) <- u;
+                  Heap.push heap nd v
+                end
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  { src; dist; parent_edge; parent_node }
+
+let dist r v = r.dist.(v)
+
+let reachable r v = r.dist.(v) < infinity
+
+let path_edges r v =
+  if not (reachable r v) then invalid_arg "Dijkstra.path_edges: unreachable node";
+  let rec up v acc = if v = r.src then acc else up r.parent_node.(v) (r.parent_edge.(v) :: acc) in
+  up v []
+
+let path_nodes r v =
+  if not (reachable r v) then invalid_arg "Dijkstra.path_nodes: unreachable node";
+  let rec up v acc = if v = r.src then v :: acc else up r.parent_node.(v) (v :: acc) in
+  up v []
+
+let spt_edges r =
+  let acc = ref [] in
+  Array.iter (fun e -> if e >= 0 then acc := e :: !acc) r.parent_edge;
+  !acc

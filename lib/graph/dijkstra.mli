@@ -1,0 +1,35 @@
+(** Dijkstra single-source shortest paths (paper reference [16]).
+
+    Used everywhere: distance graphs for KMB/ZEL (§8), dominance tests
+    (Def 4.1), the DJKA baseline (§5), and path embedding for all
+    constructions. *)
+
+type result = {
+  src : int;
+  dist : float array;  (** [infinity] where unreachable *)
+  parent_edge : int array;  (** [-1] at the source / unreachable nodes *)
+  parent_node : int array;  (** [-1] at the source / unreachable nodes *)
+}
+
+val run :
+  ?restrict:(int -> bool) -> ?edge_ok:(Wgraph.edge -> bool) -> Wgraph.t -> src:int -> result
+(** Full single-source shortest paths over enabled nodes/edges.
+    [restrict] further limits the explored node set (the router's
+    bounding-box pruning); the source is always allowed.  [edge_ok] limits
+    the usable edges (used to compute shortest-path trees inside the union
+    subgraph of the arborescence constructions). *)
+
+val dist : result -> int -> float
+
+val reachable : result -> int -> bool
+
+val path_edges : result -> int -> Wgraph.edge list
+(** Edge ids of the tree path from the source to the given node, in
+    source-to-node order.  @raise Invalid_argument if unreachable. *)
+
+val path_nodes : result -> int -> int list
+(** Node ids along the same path, starting with the source. *)
+
+val spt_edges : result -> Wgraph.edge list
+(** All parent edges of the shortest-paths tree (one per reached non-source
+    node). *)

@@ -1,0 +1,49 @@
+type t = {
+  g : Wgraph.t;
+  restrict : (int -> bool) option;
+  table : (int, Dijkstra.result) Hashtbl.t;
+  mutable stamp : int;
+  mutable count : int;
+}
+
+let create ?restrict g =
+  { g; restrict; table = Hashtbl.create 64; stamp = Wgraph.version g; count = 0 }
+
+let graph t = t.g
+
+let refresh t =
+  let v = Wgraph.version t.g in
+  if v <> t.stamp then begin
+    Hashtbl.reset t.table;
+    t.stamp <- v
+  end
+
+let result t ~src =
+  refresh t;
+  match Hashtbl.find_opt t.table src with
+  | Some r -> r
+  | None ->
+      let r = Dijkstra.run ?restrict:t.restrict t.g ~src in
+      Hashtbl.add t.table src r;
+      t.count <- t.count + 1;
+      r
+
+let dist t ~src ~dst = Dijkstra.dist (result t ~src) dst
+
+let path_edges t ~src ~dst = Dijkstra.path_edges (result t ~src) dst
+
+let cached t src =
+  refresh t;
+  Hashtbl.mem t.table src
+
+let pick_cached_side t a b = if cached t a then (a, b) else if cached t b then (b, a) else (a, b)
+
+let dist_sym t a b =
+  let src, dst = pick_cached_side t a b in
+  dist t ~src ~dst
+
+let path_edges_sym t a b =
+  let src, dst = pick_cached_side t a b in
+  path_edges t ~src ~dst
+
+let runs t = t.count

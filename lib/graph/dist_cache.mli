@@ -1,0 +1,40 @@
+(** Memoized per-source Dijkstra results.
+
+    The iterated constructions (IGMST §3, IDOM §4.2) repeatedly need
+    distances between terminals, Steiner candidates, and accepted Steiner
+    nodes.  Because the graph is undirected, [dist(t, s) = dist(s, t)], so a
+    single Dijkstra per terminal answers the Δ-scan for *every* candidate —
+    the "factoring out common computations" the paper prescribes.  The cache
+    is invalidated automatically when the host graph's version changes. *)
+
+type t
+
+val create : ?restrict:(int -> bool) -> Wgraph.t -> t
+(** [restrict] applies to every memoized Dijkstra run (candidate-pruning on
+    big routing graphs); callers must ensure all nodes they query satisfy
+    it. *)
+
+val graph : t -> Wgraph.t
+
+val result : t -> src:int -> Dijkstra.result
+(** The memoized single-source result, recomputed if the graph changed. *)
+
+val dist : t -> src:int -> dst:int -> float
+
+val path_edges : t -> src:int -> dst:int -> Wgraph.edge list
+
+val cached : t -> int -> bool
+(** Whether a memoized result for this source is currently valid. *)
+
+val dist_sym : t -> int -> int -> float
+(** [dist_sym t a b] = [dist t ~src:a ~dst:b], but served from whichever of
+    the two endpoints is already cached (the graph is undirected).  This is
+    what makes the Δ-scans of IGMST/IDOM run without any per-candidate
+    Dijkstra. *)
+
+val path_edges_sym : t -> int -> int -> Wgraph.edge list
+(** Shortest-path edge set between two nodes, served like {!dist_sym}
+    (edge sets are orientation-independent). *)
+
+val runs : t -> int
+(** Number of actual Dijkstra executions so far (test/benchmark hook). *)

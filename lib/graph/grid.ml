@@ -1,0 +1,44 @@
+type t = {
+  graph : Wgraph.t;
+  width : int;
+  height : int;
+}
+
+(* Edge ids are deterministic given the construction order below:
+   for each node in row-major order, first the horizontal then the vertical
+   outgoing edge (when they exist). *)
+
+let create ?(weight = 1.) ~width ~height () =
+  if width < 1 || height < 1 then invalid_arg "Grid.create: empty grid";
+  let g = Wgraph.create (width * height) in
+  let id x y = (y * width) + x in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then ignore (Wgraph.add_edge g (id x y) (id (x + 1) y) weight);
+      if y + 1 < height then ignore (Wgraph.add_edge g (id x y) (id x (y + 1)) weight)
+    done
+  done;
+  { graph = g; width; height }
+
+let node t ~x ~y =
+  if x < 0 || x >= t.width || y < 0 || y >= t.height then invalid_arg "Grid.node: out of range";
+  (y * t.width) + x
+
+let coords t v = (v mod t.width, v / t.width)
+
+let manhattan t a b =
+  let xa, ya = coords t a and xb, yb = coords t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let find_explicit t u v =
+  match Wgraph.find_edge t.graph u v with
+  | Some e -> e
+  | None -> invalid_arg "Grid: no such edge"
+
+let horizontal_edge t ~x ~y =
+  let u = node t ~x ~y and v = node t ~x:(x + 1) ~y in
+  find_explicit t u v
+
+let vertical_edge t ~x ~y =
+  let u = node t ~x ~y and v = node t ~x ~y:(y + 1) in
+  find_explicit t u v

@@ -1,0 +1,22 @@
+(** Binary min-heap of [(priority, payload)] pairs.
+
+    Supports duplicate payloads; Dijkstra uses lazy deletion (stale entries
+    are skipped on pop), which keeps the structure simple and fast. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val push : t -> float -> int -> unit
+(** [push h prio x] inserts payload [x] with priority [prio]. *)
+
+val pop_min : t -> (float * int) option
+(** Removes and returns the minimum-priority entry, or [None] if empty. *)
+
+val peek_min : t -> (float * int) option
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val clear : t -> unit

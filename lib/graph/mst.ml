@@ -1,0 +1,77 @@
+let prim_dense ~n ~weight =
+  if n <= 1 then ([], 0.)
+  else begin
+    let in_tree = Array.make n false in
+    let best = Array.make n infinity in
+    let best_from = Array.make n (-1) in
+    let edges = ref [] in
+    let cost = ref 0. in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      best.(j) <- weight 0 j;
+      best_from.(j) <- 0
+    done;
+    for _ = 1 to n - 1 do
+      let pick = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && (!pick = -1 || best.(j) < best.(!pick)) then pick := j
+      done;
+      let j = !pick in
+      in_tree.(j) <- true;
+      cost := !cost +. best.(j);
+      if best_from.(j) >= 0 then edges := (best_from.(j), j) :: !edges;
+      for k = 0 to n - 1 do
+        if not in_tree.(k) then begin
+          let w = weight j k in
+          if w < best.(k) then begin
+            best.(k) <- w;
+            best_from.(k) <- j
+          end
+        end
+      done
+    done;
+    (!edges, !cost)
+  end
+
+let kruskal ~nodes ~edges =
+  (* Compact arbitrary node ids. *)
+  let index = Hashtbl.create 64 in
+  let count = ref 0 in
+  let intern u =
+    match Hashtbl.find_opt index u with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add index u i;
+        incr count;
+        i
+  in
+  List.iter (fun u -> ignore (intern u)) nodes;
+  List.iter
+    (fun (u, v, _, _) ->
+      ignore (intern u);
+      ignore (intern v))
+    edges;
+  let n = !count in
+  if n <= 1 then ([], 0.)
+  else begin
+    let sorted =
+      List.sort
+        (fun (_, _, w1, t1) (_, _, w2, t2) ->
+          match compare w1 w2 with 0 -> compare t1 t2 | c -> c)
+        edges
+    in
+    let dsu = Dsu.create n in
+    let chosen = ref [] in
+    let cost = ref 0. in
+    List.iter
+      (fun ((u, v, w, _) as e) ->
+        let iu = intern u and iv = intern v in
+        if iu <> iv && Dsu.union dsu iu iv then begin
+          chosen := e :: !chosen;
+          cost := !cost +. w
+        end)
+      sorted;
+    let cost = if Dsu.count dsu > 1 then infinity else !cost in
+    (List.rev !chosen, cost)
+  end

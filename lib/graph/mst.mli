@@ -1,0 +1,25 @@
+(** Minimum spanning trees.
+
+    Two flavours are needed by the paper's constructions:
+    - Prim on a dense, implicitly-given complete graph — for the "distance
+      graph" over a net (KMB step 2, ZEL's [MST(G')], DOM's distance-graph
+      arborescence);
+    - Kruskal on an explicit sparse edge list — for [MST(G'')] over the
+      union of expanded shortest paths (KMB step 4). *)
+
+val prim_dense : n:int -> weight:(int -> int -> float) -> (int * int) list * float
+(** [prim_dense ~n ~weight] computes an MST of the complete graph over
+    nodes [0..n-1] with symmetric weight function [weight].  Returns tree
+    edges (as index pairs) and total cost.  With [n <= 1] the tree is empty
+    with cost 0.  Unconnected pairs may be encoded with [infinity]; if the
+    graph is disconnected the returned cost is [infinity]. *)
+
+val kruskal :
+  nodes:int list ->
+  edges:(int * int * float * int) list ->
+  (int * int * float * int) list * float
+(** [kruskal ~nodes ~edges] computes an MST (or forest, if disconnected —
+    then the cost is [infinity]) of the graph whose node set is [nodes] and
+    whose edges are [(u, v, w, tag)] tuples; node ids are arbitrary ints.
+    Returns the chosen edges and total cost.  Ties are broken by [tag] so
+    results are deterministic. *)

@@ -1,0 +1,38 @@
+module Rng = Fr_util.Rng
+
+let connected rng ~n ~m ~wmin ~wmax =
+  if n < 1 then invalid_arg "Random_graph.connected: n < 1";
+  if wmin < 0. || wmax < wmin then invalid_arg "Random_graph.connected: bad weight range";
+  let g = Wgraph.create n in
+  let rand_w () = wmin +. Rng.float rng (wmax -. wmin) in
+  (* Random spanning tree: attach each node (in shuffled order) to a random
+     earlier node. *)
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let seen = Hashtbl.create (4 * n) in
+  let edge_key u v = if u < v then (u, v) else (v, u) in
+  for i = 1 to n - 1 do
+    let u = order.(i) and v = order.(Rng.int rng i) in
+    ignore (Wgraph.add_edge g u v (rand_w ()));
+    Hashtbl.replace seen (edge_key u v) ()
+  done;
+  let extra = max 0 (m - (n - 1)) in
+  let max_extra = (n * (n - 1) / 2) - (n - 1) in
+  let extra = min extra max_extra in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Hashtbl.mem seen (edge_key u v)) then begin
+      Hashtbl.replace seen (edge_key u v) ();
+      ignore (Wgraph.add_edge g u v (rand_w ()));
+      incr added
+    end
+  done;
+  g
+
+let random_net rng g ~k =
+  let n = Wgraph.num_nodes g in
+  if k > n then invalid_arg "Random_graph.random_net: net larger than graph";
+  Rng.sample_distinct rng k n

@@ -1,0 +1,124 @@
+type t = { edges : Wgraph.edge list }
+
+let of_edges edges = { edges = List.sort_uniq compare edges }
+
+let empty = { edges = [] }
+
+let cost g t = List.fold_left (fun acc e -> acc +. Wgraph.weight g e) 0. t.edges
+
+let nodes g t =
+  List.concat_map
+    (fun e ->
+      let u, v = Wgraph.endpoints g e in
+      [ u; v ])
+    t.edges
+  |> List.sort_uniq compare
+
+let mem_node g t v = List.mem v (nodes g t)
+
+(* Adjacency of the tree as an association table: node -> (edge, nbr, w). *)
+let adjacency g t =
+  let tbl = Hashtbl.create (2 * List.length t.edges) in
+  let add u x =
+    let cur = try Hashtbl.find tbl u with Not_found -> [] in
+    Hashtbl.replace tbl u (x :: cur)
+  in
+  List.iter
+    (fun e ->
+      let u, v = Wgraph.endpoints g e in
+      let w = Wgraph.weight g e in
+      add u (e, v, w);
+      add v (e, u, w))
+    t.edges;
+  tbl
+
+let is_tree g t =
+  match nodes g t with
+  | [] -> true
+  | root :: _ as ns ->
+      let n = List.length ns and m = List.length t.edges in
+      if m <> n - 1 then false
+      else begin
+        (* Acyclicity follows from |E| = |V|-1 + connectivity; check
+           connectivity by traversal. *)
+        let adj = adjacency g t in
+        let seen = Hashtbl.create n in
+        let rec dfs u =
+          if not (Hashtbl.mem seen u) then begin
+            Hashtbl.add seen u ();
+            List.iter (fun (_, v, _) -> dfs v) (try Hashtbl.find adj u with Not_found -> [])
+          end
+        in
+        dfs root;
+        Hashtbl.length seen = n
+      end
+
+let spans g t terminals =
+  match (terminals, t.edges) with
+  | [], _ -> true
+  | [ _ ], [] -> true
+  | _ ->
+      let ns = nodes g t in
+      List.for_all (fun x -> List.mem x ns) terminals
+
+let uses_only_enabled g t =
+  List.for_all
+    (fun e ->
+      let u, v = Wgraph.endpoints g e in
+      Wgraph.edge_enabled g e && Wgraph.node_enabled g u && Wgraph.node_enabled g v)
+    t.edges
+
+let path_lengths_from g t ~src =
+  let adj = adjacency g t in
+  if (not (Hashtbl.mem adj src)) && t.edges <> [] then
+    invalid_arg "Tree.path_lengths_from: source not in tree";
+  let dist = Hashtbl.create 64 in
+  let rec dfs u d =
+    Hashtbl.replace dist u d;
+    List.iter
+      (fun (_, v, w) -> if not (Hashtbl.mem dist v) then dfs v (d +. w))
+      (try Hashtbl.find adj u with Not_found -> [])
+  in
+  dfs src 0.;
+  Hashtbl.fold (fun v d acc -> (v, d) :: acc) dist []
+
+let path_length g t ~src ~dst =
+  let all = path_lengths_from g t ~src in
+  match List.assoc_opt dst all with
+  | Some d -> d
+  | None -> invalid_arg "Tree.path_length: destination not connected to source in tree"
+
+let max_path_length g t ~src ~sinks =
+  let all = path_lengths_from g t ~src in
+  List.fold_left
+    (fun acc s ->
+      match List.assoc_opt s all with
+      | Some d -> max acc d
+      | None -> invalid_arg "Tree.max_path_length: sink not in tree")
+    0. sinks
+
+let prune g t ~keep =
+  let keep_tbl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace keep_tbl v ()) keep;
+  let rec go edges =
+    let deg = Hashtbl.create 64 in
+    let bump u = Hashtbl.replace deg u (1 + try Hashtbl.find deg u with Not_found -> 0) in
+    List.iter
+      (fun e ->
+        let u, v = Wgraph.endpoints g e in
+        bump u;
+        bump v)
+      edges;
+    let is_prunable_leaf u = (not (Hashtbl.mem keep_tbl u)) && Hashtbl.find deg u = 1 in
+    let edges' =
+      List.filter
+        (fun e ->
+          let u, v = Wgraph.endpoints g e in
+          not (is_prunable_leaf u || is_prunable_leaf v))
+        edges
+    in
+    if List.length edges' = List.length edges then edges else go edges'
+  in
+  { edges = go t.edges }
+
+let union a b = of_edges (a.edges @ b.edges)

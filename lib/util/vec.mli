@@ -1,0 +1,44 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray] yet).
+
+    A [Vec.t] is a mutable sequence supporting amortized O(1) [push] and
+    O(1) random access.  Used throughout the graph substrate for adjacency
+    lists and edge stores. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at the end of [v]. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+(** [to_array v] is a fresh array with the elements of [v].
+    @raise Invalid_argument on an empty vector of unknown element type is
+    impossible: an empty vector yields [[||]]. *)
+
+val of_list : 'a list -> 'a t
+
+val clear : 'a t -> unit
+(** [clear v] removes all elements (capacity is retained). *)
+
+val exists : ('a -> bool) -> 'a t -> bool

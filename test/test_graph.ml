@@ -1,0 +1,516 @@
+(* Unit, integration, and property tests for the fr_graph substrate. *)
+
+module G = Fr_graph
+module Rng = Fr_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A small diamond: 0-1 (1.), 0-2 (2.), 1-3 (2.), 2-3 (1.), 1-2 (0.5) *)
+let diamond () =
+  let g = G.Wgraph.create 4 in
+  let e01 = G.Wgraph.add_edge g 0 1 1. in
+  let e02 = G.Wgraph.add_edge g 0 2 2. in
+  let e13 = G.Wgraph.add_edge g 1 3 2. in
+  let e23 = G.Wgraph.add_edge g 2 3 1. in
+  let e12 = G.Wgraph.add_edge g 1 2 0.5 in
+  (g, e01, e02, e13, e23, e12)
+
+(* Floyd–Warshall reference for cross-checking Dijkstra. *)
+let floyd_warshall g =
+  let n = G.Wgraph.num_nodes g in
+  let d = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.
+  done;
+  G.Wgraph.iter_edges g (fun _ u v w ->
+      if w < d.(u).(v) then begin
+        d.(u).(v) <- w;
+        d.(v).(u) <- w
+      end);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) +. d.(k).(j) < d.(i).(j) then d.(i).(j) <- d.(i).(k) +. d.(k).(j)
+      done
+    done
+  done;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = G.Heap.create () in
+  List.iter (fun (p, x) -> G.Heap.push h p x) [ (3., 3); (1., 1); (2., 2); (0.5, 0) ];
+  let order = ref [] in
+  let rec drain () =
+    match G.Heap.pop_min h with
+    | None -> ()
+    | Some (_, x) ->
+        order := x :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 0; 1; 2; 3 ] (List.rev !order)
+
+let test_heap_empty () =
+  let h = G.Heap.create () in
+  Alcotest.(check bool) "empty" true (G.Heap.is_empty h);
+  Alcotest.(check bool) "pop empty" true (G.Heap.pop_min h = None);
+  G.Heap.push h 1. 1;
+  Alcotest.(check bool) "peek" true (G.Heap.peek_min h = Some (1., 1));
+  Alcotest.(check int) "size" 1 (G.Heap.size h);
+  G.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (G.Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun ps ->
+      let h = G.Heap.create () in
+      List.iteri (fun i p -> G.Heap.push h p i) ps;
+      let rec drain acc =
+        match G.Heap.pop_min h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare ps)
+
+(* ------------------------------------------------------------------ *)
+(* Dsu                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_dsu () =
+  let d = G.Dsu.create 5 in
+  Alcotest.(check int) "initial classes" 5 (G.Dsu.count d);
+  Alcotest.(check bool) "union 0 1" true (G.Dsu.union d 0 1);
+  Alcotest.(check bool) "union again" false (G.Dsu.union d 0 1);
+  Alcotest.(check bool) "same" true (G.Dsu.same d 0 1);
+  Alcotest.(check bool) "not same" false (G.Dsu.same d 0 2);
+  ignore (G.Dsu.union d 2 3);
+  ignore (G.Dsu.union d 1 3);
+  Alcotest.(check bool) "transitively same" true (G.Dsu.same d 0 2);
+  Alcotest.(check int) "classes" 2 (G.Dsu.count d)
+
+(* ------------------------------------------------------------------ *)
+(* Wgraph                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_wgraph_basic () =
+  let g, e01, _, _, _, _ = diamond () in
+  Alcotest.(check int) "nodes" 4 (G.Wgraph.num_nodes g);
+  Alcotest.(check int) "edges" 5 (G.Wgraph.num_edges g);
+  Alcotest.(check (float 1e-9)) "weight" 1. (G.Wgraph.weight g e01);
+  Alcotest.(check bool) "endpoints" true (G.Wgraph.endpoints g e01 = (0, 1));
+  Alcotest.(check int) "other_end" 1 (G.Wgraph.other_end g e01 0);
+  Alcotest.(check int) "degree 1" 3 (G.Wgraph.degree g 1)
+
+let test_wgraph_rejects () =
+  let g = G.Wgraph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Wgraph.add_edge: self-loop") (fun () ->
+      ignore (G.Wgraph.add_edge g 1 1 1.));
+  Alcotest.check_raises "out of range" (Invalid_argument "Wgraph.add_edge: node out of range")
+    (fun () -> ignore (G.Wgraph.add_edge g 0 7 1.));
+  Alcotest.check_raises "negative weight" (Invalid_argument "Wgraph.add_edge: negative weight")
+    (fun () -> ignore (G.Wgraph.add_edge g 0 1 (-1.)))
+
+let test_wgraph_disable () =
+  let g, e01, e02, _, _, _ = diamond () in
+  G.Wgraph.disable_edge g e01;
+  Alcotest.(check bool) "disabled" false (G.Wgraph.edge_enabled g e01);
+  Alcotest.(check int) "degree drops" 1 (G.Wgraph.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
+  G.Wgraph.enable_edge g e01;
+  Alcotest.(check int) "degree restored" 2 (G.Wgraph.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
+  G.Wgraph.disable_node g 2;
+  Alcotest.(check bool) "edge to disabled node hidden" true
+    (G.Wgraph.fold_adj g 0 (fun acc e _ _ -> acc && e <> e02) true);
+  G.Wgraph.enable_node g 2;
+  Alcotest.(check int) "node restored" 2 (G.Wgraph.degree g 0)
+
+let test_wgraph_version_and_weights () =
+  let g, e01, _, _, _, _ = diamond () in
+  let v0 = G.Wgraph.version g in
+  G.Wgraph.add_weight g e01 0.5;
+  Alcotest.(check (float 1e-9)) "incremented" 1.5 (G.Wgraph.weight g e01);
+  Alcotest.(check bool) "version bumped" true (G.Wgraph.version g > v0)
+
+let test_wgraph_find_edge () =
+  let g, _, _, _, _, e12 = diamond () in
+  Alcotest.(check bool) "find parallel-min" true (G.Wgraph.find_edge g 1 2 = Some e12);
+  Alcotest.(check bool) "absent" true (G.Wgraph.find_edge g 0 3 = None);
+  (* parallel edge with smaller weight wins *)
+  let e12b = G.Wgraph.add_edge g 1 2 0.25 in
+  Alcotest.(check bool) "prefers lighter parallel" true (G.Wgraph.find_edge g 1 2 = Some e12b)
+
+let test_wgraph_copy () =
+  let g, e01, _, _, _, _ = diamond () in
+  G.Wgraph.disable_edge g e01;
+  G.Wgraph.disable_node g 3;
+  let g' = G.Wgraph.copy g in
+  Alcotest.(check bool) "copied disable state" false (G.Wgraph.edge_enabled g' e01);
+  Alcotest.(check bool) "copied node state" false (G.Wgraph.node_enabled g' 3);
+  G.Wgraph.enable_edge g' e01;
+  Alcotest.(check bool) "independent" false (G.Wgraph.edge_enabled g e01)
+
+let test_mean_edge_weight () =
+  let g = G.Wgraph.create 3 in
+  ignore (G.Wgraph.add_edge g 0 1 1.);
+  let e = G.Wgraph.add_edge g 1 2 3. in
+  Alcotest.(check (float 1e-9)) "mean" 2. (G.Wgraph.mean_edge_weight g);
+  G.Wgraph.disable_edge g e;
+  Alcotest.(check (float 1e-9)) "mean after disable" 1. (G.Wgraph.mean_edge_weight g)
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dijkstra_diamond () =
+  let g, _, _, _, _, _ = diamond () in
+  let r = G.Dijkstra.run g ~src:0 in
+  Alcotest.(check (float 1e-9)) "d0" 0. (G.Dijkstra.dist r 0);
+  Alcotest.(check (float 1e-9)) "d1" 1. (G.Dijkstra.dist r 1);
+  Alcotest.(check (float 1e-9)) "d2" 1.5 (G.Dijkstra.dist r 2);
+  Alcotest.(check (float 1e-9)) "d3" 2.5 (G.Dijkstra.dist r 3);
+  let path = G.Dijkstra.path_nodes r 3 in
+  Alcotest.(check (list int)) "path via 1,2" [ 0; 1; 2; 3 ] path
+
+let test_dijkstra_disabled_detour () =
+  let g, _, _, _, _, e12 = diamond () in
+  G.Wgraph.disable_edge g e12;
+  let r = G.Dijkstra.run g ~src:0 in
+  Alcotest.(check (float 1e-9)) "d3 detours" 3. (G.Dijkstra.dist r 3)
+
+let test_dijkstra_unreachable () =
+  let g = G.Wgraph.create 3 in
+  ignore (G.Wgraph.add_edge g 0 1 1.);
+  let r = G.Dijkstra.run g ~src:0 in
+  Alcotest.(check bool) "unreachable" false (G.Dijkstra.reachable r 2);
+  Alcotest.check_raises "path to unreachable"
+    (Invalid_argument "Dijkstra.path_edges: unreachable node") (fun () ->
+      ignore (G.Dijkstra.path_edges r 2))
+
+let test_dijkstra_restrict () =
+  let g, _, _, _, _, _ = diamond () in
+  (* Forbid node 1: route to 3 must go 0-2-3. *)
+  let r = G.Dijkstra.run ~restrict:(fun v -> v <> 1) g ~src:0 in
+  Alcotest.(check (float 1e-9)) "restricted d3" 3. (G.Dijkstra.dist r 3);
+  Alcotest.(check (list int)) "restricted path" [ 0; 2; 3 ] (G.Dijkstra.path_nodes r 3)
+
+let test_dijkstra_edge_ok () =
+  let g, e01, _, _, _, _ = diamond () in
+  let r = G.Dijkstra.run ~edge_ok:(fun e -> e <> e01) g ~src:0 in
+  Alcotest.(check (float 1e-9)) "without 0-1 edge" 2. (G.Dijkstra.dist r 2)
+
+let test_dijkstra_spt_edges () =
+  let g, _, _, _, _, _ = diamond () in
+  let r = G.Dijkstra.run g ~src:0 in
+  Alcotest.(check int) "spt has n-1 edges" 3 (List.length (G.Dijkstra.spt_edges r))
+
+let prop_dijkstra_matches_floyd_warshall =
+  QCheck.Test.make ~name:"Dijkstra = Floyd-Warshall on random graphs" ~count:50
+    QCheck.(pair (int_range 2 25) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = G.Random_graph.connected rng ~n ~m:(2 * n) ~wmin:0.5 ~wmax:4. in
+      let fw = floyd_warshall g in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let r = G.Dijkstra.run g ~src:s in
+        for v = 0 to n - 1 do
+          if Float.abs (G.Dijkstra.dist r v -. fw.(s).(v)) > 1e-6 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_dijkstra_path_cost_consistent =
+  QCheck.Test.make ~name:"path edge weights sum to dist" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let g = G.Random_graph.connected rng ~n:30 ~m:80 ~wmin:0.1 ~wmax:5. in
+      let r = G.Dijkstra.run g ~src:0 in
+      let ok = ref true in
+      for v = 0 to 29 do
+        let edges = G.Dijkstra.path_edges r v in
+        let total = List.fold_left (fun acc e -> acc +. G.Wgraph.weight g e) 0. edges in
+        if Float.abs (total -. G.Dijkstra.dist r v) > 1e-6 then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Mst                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prim_dense_triangle () =
+  let w = [| [| 0.; 1.; 3. |]; [| 1.; 0.; 1.5 |]; [| 3.; 1.5; 0. |] |] in
+  let edges, cost = G.Mst.prim_dense ~n:3 ~weight:(fun i j -> w.(i).(j)) in
+  Alcotest.(check (float 1e-9)) "cost" 2.5 cost;
+  Alcotest.(check int) "edge count" 2 (List.length edges)
+
+let test_prim_dense_trivial () =
+  Alcotest.(check bool) "n=0" true (G.Mst.prim_dense ~n:0 ~weight:(fun _ _ -> 1.) = ([], 0.));
+  Alcotest.(check bool) "n=1" true (G.Mst.prim_dense ~n:1 ~weight:(fun _ _ -> 1.) = ([], 0.))
+
+let test_prim_dense_disconnected () =
+  let weight i j = if (i < 2) = (j < 2) then 1. else infinity in
+  let _, cost = G.Mst.prim_dense ~n:4 ~weight in
+  Alcotest.(check (float 1e-9)) "disconnected cost" infinity cost
+
+let test_kruskal_basic () =
+  let edges = [ (10, 20, 1., 0); (20, 30, 2., 1); (10, 30, 2.5, 2) ] in
+  let chosen, cost = G.Mst.kruskal ~nodes:[ 10; 20; 30 ] ~edges in
+  Alcotest.(check (float 1e-9)) "cost" 3. cost;
+  Alcotest.(check int) "chosen" 2 (List.length chosen)
+
+let test_kruskal_disconnected () =
+  let _, cost = G.Mst.kruskal ~nodes:[ 1; 2; 3 ] ~edges:[ (1, 2, 1., 0) ] in
+  Alcotest.(check (float 1e-9)) "forest cost" infinity cost
+
+let prop_prim_matches_kruskal =
+  QCheck.Test.make ~name:"Prim = Kruskal cost on random dense graphs" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let n = 2 + Rng.int rng 12 in
+      let w = Array.make_matrix n n 0. in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let x = 0.1 +. Rng.float rng 9.9 in
+          w.(i).(j) <- x;
+          w.(j).(i) <- x
+        done
+      done;
+      let _, pc = G.Mst.prim_dense ~n ~weight:(fun i j -> w.(i).(j)) in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          edges := (i, j, w.(i).(j), List.length !edges) :: !edges
+        done
+      done;
+      let _, kc = G.Mst.kruskal ~nodes:(List.init n (fun i -> i)) ~edges:!edges in
+      Float.abs (pc -. kc) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Tree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_tree_metrics () =
+  let g, e01, _, _, e23, e12 = diamond () in
+  let t = G.Tree.of_edges [ e01; e12; e23 ] in
+  Alcotest.(check (float 1e-9)) "cost" 2.5 (G.Tree.cost g t);
+  Alcotest.(check bool) "is tree" true (G.Tree.is_tree g t);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3 ] (G.Tree.nodes g t);
+  Alcotest.(check bool) "spans" true (G.Tree.spans g t [ 0; 3 ]);
+  Alcotest.(check (float 1e-9)) "path length" 2.5 (G.Tree.path_length g t ~src:0 ~dst:3);
+  Alcotest.(check (float 1e-9)) "max path" 2.5 (G.Tree.max_path_length g t ~src:0 ~sinks:[ 1; 3 ])
+
+let test_tree_cycle_detection () =
+  let g, e01, e02, _, _, e12 = diamond () in
+  let t = G.Tree.of_edges [ e01; e02; e12 ] in
+  Alcotest.(check bool) "cycle is not a tree" false (G.Tree.is_tree g t)
+
+let test_tree_disconnected () =
+  let g = G.Wgraph.create 4 in
+  let a = G.Wgraph.add_edge g 0 1 1. in
+  let b = G.Wgraph.add_edge g 2 3 1. in
+  let t = G.Tree.of_edges [ a; b ] in
+  Alcotest.(check bool) "forest is not a tree" false (G.Tree.is_tree g t)
+
+let test_tree_prune () =
+  let g, e01, _, e13, e23, e12 = diamond () in
+  (* Path 0-1, 1-2, 2-3 plus spur 1-3: not a tree; use tree 0-1,1-2,2-3. *)
+  ignore e13;
+  let t = G.Tree.of_edges [ e01; e12; e23 ] in
+  let pruned = G.Tree.prune g t ~keep:[ 0; 2 ] in
+  (* 3 is a leaf not kept: e23 goes; then 2 is kept. *)
+  Alcotest.(check int) "pruned size" 2 (List.length pruned.G.Tree.edges);
+  Alcotest.(check bool) "still spans" true (G.Tree.spans g pruned [ 0; 2 ])
+
+let test_tree_prune_cascade () =
+  (* A path 0-1-2-3 keeping only 0: everything prunes away. *)
+  let g = G.Wgraph.create 4 in
+  let a = G.Wgraph.add_edge g 0 1 1. in
+  let b = G.Wgraph.add_edge g 1 2 1. in
+  let c = G.Wgraph.add_edge g 2 3 1. in
+  let t = G.Tree.of_edges [ a; b; c ] in
+  let pruned = G.Tree.prune g t ~keep:[ 0 ] in
+  Alcotest.(check int) "fully pruned" 0 (List.length pruned.G.Tree.edges)
+
+let test_tree_empty () =
+  let g = G.Wgraph.create 2 in
+  Alcotest.(check bool) "empty is tree" true (G.Tree.is_tree g G.Tree.empty);
+  Alcotest.(check bool) "single terminal spanned" true (G.Tree.spans g G.Tree.empty [ 1 ]);
+  Alcotest.(check (float 1e-9)) "empty cost" 0. (G.Tree.cost g G.Tree.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_structure () =
+  let gr = G.Grid.create ~width:4 ~height:3 () in
+  Alcotest.(check int) "nodes" 12 (G.Wgraph.num_nodes gr.G.Grid.graph);
+  (* edges: 3*3 horizontal rows? horizontal: (4-1)*3 = 9, vertical: 4*2 = 8 *)
+  Alcotest.(check int) "edges" 17 (G.Wgraph.num_edges gr.G.Grid.graph);
+  let n = G.Grid.node gr ~x:2 ~y:1 in
+  Alcotest.(check bool) "coords roundtrip" true (G.Grid.coords gr n = (2, 1));
+  Alcotest.(check int) "manhattan" 3
+    (G.Grid.manhattan gr (G.Grid.node gr ~x:0 ~y:0) (G.Grid.node gr ~x:2 ~y:1))
+
+let test_grid_distances_rectilinear () =
+  (* Fig 3a: before any routing, graph distance = rectilinear distance. *)
+  let gr = G.Grid.create ~width:6 ~height:6 () in
+  let src = G.Grid.node gr ~x:1 ~y:2 in
+  let r = G.Dijkstra.run gr.G.Grid.graph ~src in
+  let ok = ref true in
+  for v = 0 to 35 do
+    if Float.abs (G.Dijkstra.dist r v -. float_of_int (G.Grid.manhattan gr src v)) > 1e-9 then
+      ok := false
+  done;
+  Alcotest.(check bool) "all distances rectilinear" true !ok
+
+let test_grid_edge_lookup () =
+  let gr = G.Grid.create ~width:3 ~height:3 () in
+  let e = G.Grid.horizontal_edge gr ~x:0 ~y:0 in
+  let u, v = G.Wgraph.endpoints gr.G.Grid.graph e in
+  Alcotest.(check bool) "horizontal endpoints" true
+    ((u, v) = (G.Grid.node gr ~x:0 ~y:0, G.Grid.node gr ~x:1 ~y:0));
+  let e' = G.Grid.vertical_edge gr ~x:2 ~y:1 in
+  let u', v' = G.Wgraph.endpoints gr.G.Grid.graph e' in
+  Alcotest.(check bool) "vertical endpoints" true
+    ((u', v') = (G.Grid.node gr ~x:2 ~y:1, G.Grid.node gr ~x:2 ~y:2))
+
+let test_grid_bad_args () =
+  Alcotest.check_raises "empty grid" (Invalid_argument "Grid.create: empty grid") (fun () ->
+      ignore (G.Grid.create ~width:0 ~height:3 ()));
+  let gr = G.Grid.create ~width:2 ~height:2 () in
+  Alcotest.check_raises "node out of range" (Invalid_argument "Grid.node: out of range")
+    (fun () -> ignore (G.Grid.node gr ~x:2 ~y:0))
+
+(* ------------------------------------------------------------------ *)
+(* Random_graph                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_graph_connected () =
+  let rng = Rng.make 11 in
+  let g = G.Random_graph.connected rng ~n:40 ~m:100 ~wmin:1. ~wmax:2. in
+  let r = G.Dijkstra.run g ~src:0 in
+  let all_reachable = ref true in
+  for v = 0 to 39 do
+    if not (G.Dijkstra.reachable r v) then all_reachable := false
+  done;
+  Alcotest.(check bool) "connected" true !all_reachable;
+  Alcotest.(check bool) "edge count ~m" true (G.Wgraph.num_edges g >= 39)
+
+let test_random_net () =
+  let rng = Rng.make 12 in
+  let g = G.Random_graph.connected rng ~n:20 ~m:40 ~wmin:1. ~wmax:1. in
+  let net = G.Random_graph.random_net rng g ~k:5 in
+  Alcotest.(check int) "net size" 5 (List.length net);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare net))
+
+(* ------------------------------------------------------------------ *)
+(* Dist_cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dist_cache_memoizes () =
+  let g, _, _, _, _, _ = diamond () in
+  let c = G.Dist_cache.create g in
+  ignore (G.Dist_cache.dist c ~src:0 ~dst:3);
+  ignore (G.Dist_cache.dist c ~src:0 ~dst:1);
+  Alcotest.(check int) "one run" 1 (G.Dist_cache.runs c);
+  ignore (G.Dist_cache.dist c ~src:1 ~dst:3);
+  Alcotest.(check int) "two runs" 2 (G.Dist_cache.runs c)
+
+let test_dist_cache_invalidation () =
+  let g, e01, _, _, _, _ = diamond () in
+  let c = G.Dist_cache.create g in
+  let d0 = G.Dist_cache.dist c ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "before" 1. d0;
+  G.Wgraph.set_weight g e01 10.;
+  let d1 = G.Dist_cache.dist c ~src:0 ~dst:1 in
+  Alcotest.(check (float 1e-9)) "after (via 2)" 2.5 d1
+
+let test_dist_cache_sym () =
+  let g, _, _, _, _, _ = diamond () in
+  let c = G.Dist_cache.create g in
+  ignore (G.Dist_cache.result c ~src:3);
+  Alcotest.(check bool) "cached side" true (G.Dist_cache.cached c 3);
+  let d = G.Dist_cache.dist_sym c 0 3 in
+  Alcotest.(check (float 1e-9)) "sym dist" 2.5 d;
+  (* Served from node 3's result: still a single run. *)
+  Alcotest.(check int) "no extra run" 1 (G.Dist_cache.runs c);
+  let p = G.Dist_cache.path_edges_sym c 0 3 in
+  let total = List.fold_left (fun acc e -> acc +. G.Wgraph.weight g e) 0. p in
+  Alcotest.(check (float 1e-9)) "sym path cost" 2.5 total
+
+let () =
+  Alcotest.run "fr_graph"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "empty/peek/clear" `Quick test_heap_empty;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ("dsu", [ Alcotest.test_case "union/find" `Quick test_dsu ]);
+      ( "wgraph",
+        [
+          Alcotest.test_case "basics" `Quick test_wgraph_basic;
+          Alcotest.test_case "rejects bad edges" `Quick test_wgraph_rejects;
+          Alcotest.test_case "disable/enable" `Quick test_wgraph_disable;
+          Alcotest.test_case "versioning & weights" `Quick test_wgraph_version_and_weights;
+          Alcotest.test_case "find_edge" `Quick test_wgraph_find_edge;
+          Alcotest.test_case "copy" `Quick test_wgraph_copy;
+          Alcotest.test_case "mean edge weight" `Quick test_mean_edge_weight;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "diamond" `Quick test_dijkstra_diamond;
+          Alcotest.test_case "detour around disabled" `Quick test_dijkstra_disabled_detour;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "restrict" `Quick test_dijkstra_restrict;
+          Alcotest.test_case "edge_ok" `Quick test_dijkstra_edge_ok;
+          Alcotest.test_case "spt edges" `Quick test_dijkstra_spt_edges;
+          QCheck_alcotest.to_alcotest prop_dijkstra_matches_floyd_warshall;
+          QCheck_alcotest.to_alcotest prop_dijkstra_path_cost_consistent;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "prim triangle" `Quick test_prim_dense_triangle;
+          Alcotest.test_case "prim trivial" `Quick test_prim_dense_trivial;
+          Alcotest.test_case "prim disconnected" `Quick test_prim_dense_disconnected;
+          Alcotest.test_case "kruskal basic" `Quick test_kruskal_basic;
+          Alcotest.test_case "kruskal disconnected" `Quick test_kruskal_disconnected;
+          QCheck_alcotest.to_alcotest prop_prim_matches_kruskal;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "metrics" `Quick test_tree_metrics;
+          Alcotest.test_case "cycle detection" `Quick test_tree_cycle_detection;
+          Alcotest.test_case "disconnected" `Quick test_tree_disconnected;
+          Alcotest.test_case "prune" `Quick test_tree_prune;
+          Alcotest.test_case "prune cascade" `Quick test_tree_prune_cascade;
+          Alcotest.test_case "empty tree" `Quick test_tree_empty;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "structure" `Quick test_grid_structure;
+          Alcotest.test_case "rectilinear distances (Fig 3a)" `Quick
+            test_grid_distances_rectilinear;
+          Alcotest.test_case "edge lookup" `Quick test_grid_edge_lookup;
+          Alcotest.test_case "bad args" `Quick test_grid_bad_args;
+        ] );
+      ( "random_graph",
+        [
+          Alcotest.test_case "connected" `Quick test_random_graph_connected;
+          Alcotest.test_case "random net" `Quick test_random_net;
+        ] );
+      ( "dist_cache",
+        [
+          Alcotest.test_case "memoizes" `Quick test_dist_cache_memoizes;
+          Alcotest.test_case "invalidation" `Quick test_dist_cache_invalidation;
+          Alcotest.test_case "symmetric lookups" `Quick test_dist_cache_sym;
+        ] );
+    ]
