@@ -10,7 +10,11 @@
    Environment:
      REPRO_QUICK=1   smaller workloads / subset of circuits (CI-friendly)
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Smoke:    dune exec bench/main.exe -- --smoke
+             (targeted-Dijkstra A/B on one small circuit only; asserts the
+             routed trees are identical and the targeted mode settles fewer
+             nodes — wired into the test suite via a runtest alias) *)
 
 module G = Fr_graph
 module C = Fr_core
@@ -19,6 +23,8 @@ open Bechamel
 open Toolkit
 
 let quick = Sys.getenv_opt "REPRO_QUICK" <> None
+
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
 let section title =
   Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
@@ -112,6 +118,110 @@ let run_bechamel name tests ~quota_s =
   Fr_util.Tab.print t
 
 (* ------------------------------------------------------------------ *)
+(* Targeted-Dijkstra A/B (settled nodes, full vs targeted)             *)
+(* ------------------------------------------------------------------ *)
+
+let route_instrumented ~config ~targeted ~channel_width spec =
+  let circuit = F.Circuits.generate spec in
+  let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width) in
+  let config = { config with F.Router.targeted_dijkstra = targeted } in
+  let t0 = Unix.gettimeofday () in
+  let r = F.Router.route ~config rrg circuit in
+  (r, Unix.gettimeofday () -. t0)
+
+(* IKMB's Δ-scan reads member-to-candidate distances for every candidate,
+   so target-bounding cannot shrink its searches much; the point-to-point
+   strategies (KMB's terminal pairs, the two-pin baseline's single sinks)
+   are where the searches stop early. *)
+let ab_strategies max_passes =
+  [
+    ("IKMB", F.Router.config_with ~alg:C.Routing_alg.ikmb ~max_passes ());
+    ("KMB", F.Router.config_with ~alg:C.Routing_alg.kmb ~max_passes ());
+    ( "2pin",
+      {
+        (F.Router.config_with ~max_passes ()) with
+        F.Router.strategy = F.Router.Two_pin_decomposition;
+      } );
+  ]
+
+(* Routed trees as a canonical (net name, sorted edge list) association —
+   the bit-identity witness between the two modes. *)
+let canonical_trees stats =
+  List.map
+    (fun r ->
+      (r.F.Router.net.F.Netlist.net_name, List.sort compare r.F.Router.tree.G.Tree.edges))
+    stats.F.Router.routed
+  |> List.sort compare
+
+let settled_nodes_section ~specs ~max_passes ~channel_width () =
+  section "Targeted Dijkstra A/B (same trees, fewer settled nodes)";
+  let t =
+    Fr_util.Tab.create
+      ~title:
+        (Printf.sprintf "router work, full vs targeted (W=%d, max %d passes)" channel_width
+           max_passes)
+      ~header:
+        [ "circuit"; "settled full"; "settled targ"; "ratio"; "runs full"; "runs targ";
+          "full s"; "targ s"; "trees" ]
+  in
+  let all_identical = ref true and any_halved = ref false in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun (strat_name, config) ->
+          let name = spec.F.Circuits.circuit ^ "/" ^ strat_name in
+          let full, full_s = route_instrumented ~config ~targeted:false ~channel_width spec in
+          let targ, targ_s = route_instrumented ~config ~targeted:true ~channel_width spec in
+          match (full, targ) with
+          | Ok sf, Ok st ->
+              let identical = canonical_trees sf = canonical_trees st in
+              if not identical then all_identical := false;
+              let ratio =
+                float_of_int sf.F.Router.settled_nodes
+                /. float_of_int (max 1 st.F.Router.settled_nodes)
+              in
+              if ratio >= 2. then any_halved := true;
+              Fr_util.Tab.add_row t
+                [ name;
+                  string_of_int sf.F.Router.settled_nodes;
+                  string_of_int st.F.Router.settled_nodes;
+                  Printf.sprintf "%.1fx" ratio;
+                  string_of_int sf.F.Router.dijkstra_runs;
+                  string_of_int st.F.Router.dijkstra_runs;
+                  Printf.sprintf "%.2f" full_s;
+                  Printf.sprintf "%.2f" targ_s;
+                  (if identical then "identical" else "DIFFER") ]
+          | Error _, Error _ ->
+              Fr_util.Tab.add_row t
+                [ name; "-"; "-"; "-"; "-"; "-"; Printf.sprintf "%.2f" full_s;
+                  Printf.sprintf "%.2f" targ_s; "unroutable" ]
+          | _ ->
+              (* One mode routed and the other did not: a determinism bug. *)
+              all_identical := false;
+              Fr_util.Tab.add_row t
+                [ name; "-"; "-"; "-"; "-"; "-"; Printf.sprintf "%.2f" full_s;
+                  Printf.sprintf "%.2f" targ_s; "DIVERGED" ])
+        (ab_strategies max_passes))
+    specs;
+  Fr_util.Tab.print t;
+  (!all_identical, !any_halved)
+
+let smoke_main () =
+  let spec = Option.get (F.Circuits.find_spec "term1") in
+  let identical, halved =
+    settled_nodes_section ~specs:[ spec ] ~max_passes:3 ~channel_width:14 ()
+  in
+  if not identical then begin
+    prerr_endline "SMOKE FAIL: targeted and full routes differ (or did not route)";
+    exit 1
+  end;
+  if not halved then begin
+    prerr_endline "SMOKE FAIL: targeted mode settled less than 2x fewer nodes";
+    exit 1
+  end;
+  print_endline "smoke OK: trees identical, targeted settles >= 2x fewer nodes"
+
+(* ------------------------------------------------------------------ *)
 (* Full table / figure regeneration                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -133,6 +243,10 @@ let subset_4000 () =
   else F.Circuits.specs_4000
 
 let () =
+  if smoke then begin
+    smoke_main ();
+    exit 0
+  end;
   Printf.printf "Reproduction benches for Alexander-Robins, DAC 1995%s\n%!"
     (if quick then " [REPRO_QUICK]" else "");
 
@@ -141,6 +255,17 @@ let () =
 
   section "Per-table/figure workload kernels";
   run_bechamel "workloads" workload_tests ~quota_s:(if quick then 0.5 else 1.0);
+
+  let ab_specs =
+    List.filter
+      (fun s ->
+        List.mem s.F.Circuits.circuit (if quick then [ "term1" ] else [ "term1"; "9symml"; "apex7" ]))
+      F.Circuits.specs_4000
+  in
+  ignore
+    (wall (fun () ->
+         settled_nodes_section ~specs:ab_specs ~max_passes:(if quick then 3 else 8)
+           ~channel_width:14 ()));
 
   let nets_per_config = if quick then 10 else 50 in
   let max_passes = if quick then 8 else 20 in

@@ -8,22 +8,37 @@ let dominates_via ~source_dist ~p_dist ~p ~s =
   && Float.abs (dp -. (ds +. dsp)) <= tol *. (1. +. Float.abs dp) +. tol
 
 let dominates cache ~source ~p ~s =
-  let rsrc = G.Dist_cache.result cache ~src:source in
-  let rp = G.Dist_cache.result cache ~src:p in
+  let rsrc = G.Dist_cache.result_for cache ~src:source ~targets:[ p; s ] in
+  let rp = G.Dist_cache.result_for cache ~src:p ~targets:[ s ] in
   dominates_via ~source_dist:(G.Dijkstra.dist rsrc) ~p_dist:(G.Dijkstra.dist rp) ~p ~s
 
-let max_dom ?(allowed = fun _ -> true) cache ~source ~p ~q =
+let max_dom ?(allowed = fun _ -> true) ?candidates cache ~source ~p ~q =
   let g = G.Dist_cache.graph cache in
-  let rsrc = G.Dist_cache.result cache ~src:source in
-  let rp = G.Dist_cache.result cache ~src:p in
-  let rq = G.Dist_cache.result cache ~src:q in
+  (* With an explicit candidate list the scan (and therefore the Dijkstra
+     settling) is bounded to those nodes; otherwise every node is examined
+     and the per-source results must be complete. *)
+  let scan, rsrc, rp, rq =
+    match candidates with
+    | None ->
+        let rsrc = G.Dist_cache.result cache ~src:source in
+        let rp = G.Dist_cache.result cache ~src:p in
+        let rq = G.Dist_cache.result cache ~src:q in
+        (None, rsrc, rp, rq)
+    | Some cs ->
+        let scan = List.sort_uniq compare (source :: cs) in
+        let targets = p :: q :: scan in
+        let rsrc = G.Dist_cache.result_for cache ~src:source ~targets in
+        let rp = G.Dist_cache.result_for cache ~src:p ~targets in
+        let rq = G.Dist_cache.result_for cache ~src:q ~targets in
+        (Some scan, rsrc, rp, rq)
+  in
   let sd = G.Dijkstra.dist rsrc in
   let pd = G.Dijkstra.dist rp in
   let qd = G.Dijkstra.dist rq in
   if sd p = infinity || sd q = infinity then None
   else begin
     let best = ref (-1) and best_d = ref neg_infinity in
-    for m = 0 to G.Wgraph.num_nodes g - 1 do
+    let consider m =
       if
         G.Wgraph.node_enabled g m && allowed m
         && dominates_via ~source_dist:sd ~p_dist:pd ~p ~s:m
@@ -33,14 +48,20 @@ let max_dom ?(allowed = fun _ -> true) cache ~source ~p ~q =
         best := m;
         best_d := sd m
       end
-    done;
+    in
+    (match scan with
+    | None ->
+        for m = 0 to G.Wgraph.num_nodes g - 1 do
+          consider m
+        done
+    | Some ms -> List.iter consider ms);
     if !best < 0 then None else Some (!best, !best_d)
   end
 
 let nearest_dominated cache ~source ~members ~p =
   if p = source then None
   else begin
-    let rsrc = G.Dist_cache.result cache ~src:source in
+    let rsrc = G.Dist_cache.result_for cache ~src:source ~targets:(p :: members) in
     let sd = G.Dijkstra.dist rsrc in
     (* Distances between p and candidate parents are served from whichever
        side is memoized, so scanning a *candidate* p (IDOM's Δ-loop) costs
@@ -67,7 +88,7 @@ let nearest_dominated cache ~source ~members ~p =
 let fold_tree cache ~source ~members ~keep =
   let g = G.Dist_cache.graph cache in
   let members = List.sort_uniq compare members in
-  let rsrc = G.Dist_cache.result cache ~src:source in
+  let rsrc = G.Dist_cache.result_for cache ~src:source ~targets:members in
   List.iter
     (fun m -> if not (G.Dijkstra.reachable rsrc m) then Routing_err.fail "fold_tree")
     members;

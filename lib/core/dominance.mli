@@ -22,6 +22,7 @@ val dominates_via :
 
 val max_dom :
   ?allowed:(int -> bool) ->
+  ?candidates:int list ->
   Fr_graph.Dist_cache.t ->
   source:int ->
   p:int ->
@@ -31,7 +32,11 @@ val max_dom :
     dominated by both [p] and [q] farthest from the source, with its
     distance.  Always succeeds on connected inputs since the source is
     dominated by everything; [None] only if [p]/[q] are unreachable.
-    [allowed] restricts the scanned node set. *)
+    [allowed] restricts the scanned node set.  [candidates] bounds the scan
+    to the listed nodes plus the source — and with it the Dijkstra settling,
+    via targeted queries; without it the scan settles whole per-source
+    results.  Scanning candidates [cs] equals scanning all nodes with
+    [allowed] = membership in [source :: cs]. *)
 
 val nearest_dominated :
   Fr_graph.Dist_cache.t -> source:int -> members:int list -> p:int -> (int * float) option

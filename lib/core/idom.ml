@@ -17,29 +17,45 @@ let default_candidates g terminals =
    candidate [t] is evaluated in O(k): each existing sink can only improve
    by re-parenting onto [t] (its other options are unchanged), and [t]
    itself picks its cheapest dominated member — the "combining common
-   computations" the paper prescribes for IDOM's complexity. *)
+   computations" the paper prescribes for IDOM's complexity.
+
+   Every distance the scan reads lands on a member or a candidate, so the
+   per-source queries are target-bounded to that set: on a bbox-restricted
+   routing graph the searches stop long before settling the whole graph. *)
 let grow ?candidates cache ~net =
   let g = G.Dist_cache.graph cache in
   let source = net.Net.source in
   let terminals = Net.terminals net in
-  let sd = (G.Dist_cache.result cache ~src:source).G.Dijkstra.dist in
-  if List.exists (fun s -> sd.(s) = infinity) net.Net.sinks then Routing_err.fail "IDOM";
+  let in_net = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace in_net t ()) terminals;
   let all_candidates =
     match candidates with
-    | Some c -> List.filter (fun t -> not (List.mem t terminals)) c
+    | Some c -> List.filter (fun t -> not (Hashtbl.mem in_net t)) c
     | None -> default_candidates g terminals
   in
+  let sd =
+    (G.Dist_cache.result_for cache ~src:source
+       ~targets:(List.rev_append terminals all_candidates))
+      .G.Dijkstra.dist
+  in
+  if List.exists (fun s -> sd.(s) = infinity) net.Net.sinks then Routing_err.fail "IDOM";
   let dominates ~p ~s ~dist_sp =
     let dp = sd.(p) and ds = sd.(s) in
     dp < infinity && ds < infinity && dist_sp < infinity
     && Float.abs (dp -. (ds +. dist_sp)) <= (Dominance.tol *. (1. +. Float.abs dp)) +. Dominance.tol
   in
+  let in_s = Hashtbl.create 16 in
   (* members = source :: sinks-so-far (terminals' sinks ++ accepted S). *)
   let rec iterate s trace =
     let sinks = List.rev_append s net.Net.sinks in
     let members = Array.of_list (source :: sinks) in
     let k = Array.length members in
-    let arr = Array.map (fun m -> (G.Dist_cache.result cache ~src:m).G.Dijkstra.dist) members in
+    let targets = Array.fold_left (fun acc m -> m :: acc) all_candidates members in
+    let arr =
+      Array.map
+        (fun m -> (G.Dist_cache.result_for cache ~src:m ~targets).G.Dijkstra.dist)
+        members
+    in
     (* Best current parent cost for each sink member (index >= 1 in
        [members]); the source connects to nothing. *)
     let best_parent = Array.make k 0. in
@@ -83,7 +99,7 @@ let grow ?candidates cache ~net =
     let best_t = ref (-1) and best_cost = ref base in
     List.iter
       (fun t ->
-        if not (List.mem t s) then begin
+        if not (Hashtbl.mem in_s t) then begin
           let c = eval t in
           if c < !best_cost -. improvement_eps then begin
             best_cost := c;
@@ -92,7 +108,10 @@ let grow ?candidates cache ~net =
         end)
       all_candidates;
     if !best_t < 0 then (List.rev s, List.rev (base :: trace))
-    else iterate (!best_t :: s) (base :: trace)
+    else begin
+      Hashtbl.replace in_s !best_t ();
+      iterate (!best_t :: s) (base :: trace)
+    end
   in
   iterate [] []
 

@@ -36,12 +36,17 @@ let try_cost h cache ~terminals =
    Dijkstra arrays, so each candidate costs O(k²) float work and no graph
    traversal.  The proxy ranks candidates; the top few are re-evaluated
    with the genuine heuristic so the accepted Steiner node always yields a
-   true cost(H) improvement (keeping IGMST's performance guarantee). *)
+   true cost(H) improvement (keeping IGMST's performance guarantee).
+
+   Every distance read lands on a member or a candidate, so the per-member
+   queries are target-bounded to that set — the searches stop as soon as
+   the scan's inputs are settled instead of covering the whole graph. *)
 let quick_scan cache ~members ~candidates =
   let ms = Array.of_list members in
   let k = Array.length ms in
+  let targets = List.rev_append members candidates in
   let dist_arrays =
-    Array.map (fun m -> (G.Dist_cache.result cache ~src:m).G.Dijkstra.dist) ms
+    Array.map (fun m -> (G.Dist_cache.result_for cache ~src:m ~targets).G.Dijkstra.dist) ms
   in
   let size = k + 1 in
   let w = Array.make_matrix size size 0. in
@@ -88,27 +93,31 @@ let grow ?(batched = false) ?candidates h cache ~terminals =
     let all_candidates =
       match candidates with Some c -> c | None -> default_candidates g terminals
     in
-    let usable = List.filter (fun t -> not (List.mem t terminals)) all_candidates in
+    let in_terms = Hashtbl.create 16 in
+    List.iter (fun t -> Hashtbl.replace in_terms t ()) terminals;
+    let usable = List.filter (fun t -> not (Hashtbl.mem in_terms t)) all_candidates in
     let in_s = Hashtbl.create 16 in
     let rec iterate s base =
       let members = s @ terminals in
       let remaining = List.filter (fun t -> not (Hashtbl.mem in_s t)) usable in
       let ranked = quick_scan cache ~members ~candidates:remaining in
       if batched then begin
-        (* Accept every ranked candidate that still truly improves. *)
-        let rec sweep s base n changed = function
-          | [] -> (s, base, changed)
-          | _ when n >= verify_top -> (s, base, changed)
+        (* Accept every ranked candidate that still truly improves.  The
+           sweep accumulates the Steiner set alone (terminals are appended
+           only for the cost evaluation), so nothing needs filtering back
+           out afterwards. *)
+        let rec sweep sl base n changed = function
+          | [] -> (sl, base, changed)
+          | _ when n >= verify_top -> (sl, base, changed)
           | (t, _) :: rest ->
-              let c = try_cost h cache ~terminals:(t :: s) in
+              let c = try_cost h cache ~terminals:(t :: sl @ terminals) in
               if c < base -. improvement_eps then begin
                 Hashtbl.replace in_s t ();
-                sweep (t :: s) c (n + 1) true rest
+                sweep (t :: sl) c (n + 1) true rest
               end
-              else sweep s base (n + 1) changed rest
+              else sweep sl base (n + 1) changed rest
         in
-        let s', base', changed = sweep members base 0 false ranked in
-        let s' = List.filter (fun v -> not (List.mem v terminals)) s' in
+        let s', base', changed = sweep s base 0 false ranked in
         if changed then iterate s' base' else s
       end
       else begin

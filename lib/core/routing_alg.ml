@@ -8,13 +8,6 @@ type t = {
   solve : ?candidates:int list -> Fr_graph.Dist_cache.t -> net:Net.t -> Fr_graph.Tree.t;
 }
 
-let member_pred = function
-  | None -> fun _ -> true
-  | Some candidates ->
-      let tbl = Hashtbl.create (2 * List.length candidates) in
-      List.iter (fun v -> Hashtbl.replace tbl v ()) candidates;
-      Hashtbl.mem tbl
-
 let kmb =
   {
     name = "KMB";
@@ -28,8 +21,7 @@ let zel =
     kind = Steiner;
     solve =
       (fun ?candidates cache ~net ->
-        let steiner_ok = member_pred candidates in
-        Zel.solve ~steiner_ok cache ~terminals:(Net.terminals net));
+        Zel.solve ?steiner_candidates:candidates cache ~terminals:(Net.terminals net));
   }
 
 let ikmb =
@@ -69,10 +61,7 @@ let pfa =
     name = "PFA";
     kind = Arborescence;
     solve =
-      (fun ?candidates cache ~net ->
-        match candidates with
-        | None -> Pfa.solve cache ~net
-        | Some _ -> Pfa.solve ~steiner_ok:(member_pred candidates) cache ~net);
+      (fun ?candidates cache ~net -> Pfa.solve ?steiner_candidates:candidates cache ~net);
   }
 
 let idom =

@@ -20,14 +20,27 @@ let sorted_triple a b c =
 (* Best Steiner point for a triple: the v minimizing the sum of
    shortest-path distances to the three terminals (Fig 18's dist_z; the
    figure's "maximizes" is a typo for "minimizes" — the win formula only
-   makes sense with the minimum). *)
-let steiner_point_of_triple cache ~steiner_ok a b c =
+   makes sense with the minimum).  With a candidate list the scan — and the
+   Dijkstra settling behind it — is bounded to those nodes; otherwise all
+   nodes are examined from complete per-terminal results. *)
+let steiner_point_of_triple cache ~steiner_ok ~candidates a b c =
   let g = G.Dist_cache.graph cache in
-  let ra = G.Dist_cache.result cache ~src:a in
-  let rb = G.Dist_cache.result cache ~src:b in
-  let rc = G.Dist_cache.result cache ~src:c in
+  let scan, ra, rb, rc =
+    match candidates with
+    | None ->
+        ( None,
+          G.Dist_cache.result cache ~src:a,
+          G.Dist_cache.result cache ~src:b,
+          G.Dist_cache.result cache ~src:c )
+    | Some cs ->
+        let scan = List.sort_uniq compare cs in
+        ( Some scan,
+          G.Dist_cache.result_for cache ~src:a ~targets:scan,
+          G.Dist_cache.result_for cache ~src:b ~targets:scan,
+          G.Dist_cache.result_for cache ~src:c ~targets:scan )
+  in
   let best_v = ref (-1) and best_d = ref infinity in
-  for v = 0 to G.Wgraph.num_nodes g - 1 do
+  let consider v =
     if G.Wgraph.node_enabled g v && steiner_ok v then begin
       let d = G.Dijkstra.dist ra v +. G.Dijkstra.dist rb v +. G.Dijkstra.dist rc v in
       if d < !best_d then begin
@@ -35,23 +48,29 @@ let steiner_point_of_triple cache ~steiner_ok a b c =
         best_v := v
       end
     end
-  done;
+  in
+  (match scan with
+  | None ->
+      for v = 0 to G.Wgraph.num_nodes g - 1 do
+        consider v
+      done
+  | Some vs -> List.iter consider vs);
   (!best_v, !best_d)
 
-let triple_info ?memo cache ~steiner_ok a b c =
+let triple_info ?memo cache ~steiner_ok ~candidates a b c =
   let key = sorted_triple a b c in
   match memo with
-  | None -> steiner_point_of_triple cache ~steiner_ok a b c
+  | None -> steiner_point_of_triple cache ~steiner_ok ~candidates a b c
   | Some m -> (
       refresh_memo m (G.Wgraph.version (G.Dist_cache.graph cache));
       match Hashtbl.find_opt m.table key with
       | Some info -> info
       | None ->
-          let info = steiner_point_of_triple cache ~steiner_ok a b c in
+          let info = steiner_point_of_triple cache ~steiner_ok ~candidates a b c in
           Hashtbl.add m.table key info;
           info)
 
-let solve ?memo ?(steiner_ok = fun _ -> true) cache ~terminals =
+let solve ?memo ?(steiner_ok = fun _ -> true) ?steiner_candidates cache ~terminals =
   let ts = Array.of_list (List.sort_uniq compare terminals) in
   let k = Array.length ts in
   if k <= 2 then Kmb.solve cache ~terminals
@@ -74,7 +93,10 @@ let solve ?memo ?(steiner_ok = fun _ -> true) cache ~terminals =
     for i = 0 to k - 1 do
       for j = i + 1 to k - 1 do
         for l = j + 1 to k - 1 do
-          let v, d = triple_info ?memo cache ~steiner_ok ts.(i) ts.(j) ts.(l) in
+          let v, d =
+            triple_info ?memo cache ~steiner_ok ~candidates:steiner_candidates ts.(i) ts.(j)
+              ts.(l)
+          in
           if v >= 0 && d < infinity then triples := (i, j, l, v, d) :: !triples
         done
       done
@@ -119,5 +141,5 @@ let solve ?memo ?(steiner_ok = fun _ -> true) cache ~terminals =
     Kmb.solve cache ~terminals:(Array.to_list ts @ !steiners)
   end
 
-let cost ?memo ?steiner_ok cache ~terminals =
-  G.Tree.cost (G.Dist_cache.graph cache) (solve ?memo ?steiner_ok cache ~terminals)
+let cost ?memo ?steiner_ok ?steiner_candidates cache ~terminals =
+  G.Tree.cost (G.Dist_cache.graph cache) (solve ?memo ?steiner_ok ?steiner_candidates cache ~terminals)

@@ -10,19 +10,31 @@ type memo
     best [v_z] is O(|V|) per triple; inside {!Igmst}'s Δ-loop the same
     triples recur for every candidate, so memoizing them is the paper's
     "factoring out common computations".  Stamped with the graph version —
-    stale entries are discarded automatically. *)
+    stale entries are discarded automatically.  Entries also bake in
+    whatever candidate list produced them, so use one memo per candidate
+    set. *)
 
 val create_memo : unit -> memo
 
 val solve :
   ?memo:memo ->
   ?steiner_ok:(int -> bool) ->
+  ?steiner_candidates:int list ->
   Fr_graph.Dist_cache.t ->
   terminals:int list ->
   Fr_graph.Tree.t
 (** [steiner_ok] restricts which graph nodes may serve as triple Steiner
     points (used with bounding-box pruning on large routing graphs).
+    [steiner_candidates] bounds the triple scan to the listed nodes — and,
+    through targeted Dijkstra queries, the settling done on their behalf;
+    scanning candidates [cs] equals scanning all nodes with [steiner_ok] =
+    membership in [cs].
     @raise Routing_err.Unroutable when terminals cannot be spanned. *)
 
 val cost :
-  ?memo:memo -> ?steiner_ok:(int -> bool) -> Fr_graph.Dist_cache.t -> terminals:int list -> float
+  ?memo:memo ->
+  ?steiner_ok:(int -> bool) ->
+  ?steiner_candidates:int list ->
+  Fr_graph.Dist_cache.t ->
+  terminals:int list ->
+  float

@@ -13,6 +13,7 @@ type config = {
   congestion_increment : float;
   bbox_margin : float;
   max_candidates : int;
+  targeted_dijkstra : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     congestion_increment = 3.0;
     bbox_margin = 3.;
     max_candidates = 2500;
+    targeted_dijkstra = true;
   }
 
 let config_with ?alg ?max_passes () =
@@ -44,6 +46,8 @@ type stats = {
   total_wirelength : float;
   total_max_path : float;
   peak_occupancy : int;
+  dijkstra_runs : int;
+  settled_nodes : int;
 }
 
 type failure = {
@@ -101,12 +105,14 @@ let initial_order nets =
     nets
 
 let move_to_front failed order =
-  let is_failed n = List.mem n.Netlist.net_name failed in
+  let failed_set = Hashtbl.create (2 * List.length failed) in
+  List.iter (fun name -> Hashtbl.replace failed_set name ()) failed;
+  let is_failed n = Hashtbl.mem failed_set n.Netlist.net_name in
   let front, back = List.partition is_failed order in
   front @ back
 
 (* ------------------------------------------------------------------ *)
-(* Per-net routing                                                     *)
+(* Shared distance caches                                              *)
 (* ------------------------------------------------------------------ *)
 
 let bbox_pred rrg cfg net =
@@ -119,6 +125,52 @@ let bbox_pred rrg cfg net =
   fun v ->
     let x, y = Rrg.pos rrg v in
     x >= x0 && x <= x1 && y >= y0 && y <= y1
+
+(* One [Dist_cache] per restriction footprint, shared by every net with
+   that footprint and persisting across passes.  A restricted search is
+   fully determined by the net's bounding box (plus the constant margin),
+   so the box is the key.  Entries are invalidated — not rebuilt — when a
+   commit mutates the graph, and the counters accumulate over the whole
+   [route] call, which is exactly the before/after work metric the bench
+   reports. *)
+type cache_key =
+  | Full
+  | Bbox of int * int * int * int
+
+type cache_pool = {
+  caches : (cache_key, G.Dist_cache.t) Hashtbl.t;
+  pool_graph : G.Wgraph.t;
+  targeted : bool;
+}
+
+let make_pool cfg g = { caches = Hashtbl.create 32; pool_graph = g; targeted = cfg.targeted_dijkstra }
+
+let pool_cache pool rrg cfg net ~restricted =
+  let key =
+    if restricted then begin
+      let c0, r0, c1, r1 = Netlist.bounding_box net in
+      Bbox (c0, r0, c1, r1)
+    end
+    else Full
+  in
+  match Hashtbl.find_opt pool.caches key with
+  | Some cache -> cache
+  | None ->
+      let restrict = if restricted then Some (bbox_pred rrg cfg net) else None in
+      let cache = G.Dist_cache.create ?restrict ~targeted:pool.targeted pool.pool_graph in
+      Hashtbl.add pool.caches key cache;
+      cache
+
+let pool_invalidate pool = Hashtbl.iter (fun _ c -> G.Dist_cache.invalidate c) pool.caches
+
+let pool_runs pool = Hashtbl.fold (fun _ c acc -> acc + G.Dist_cache.runs c) pool.caches 0
+
+let pool_settled pool =
+  Hashtbl.fold (fun _ c acc -> acc + G.Dist_cache.settled_nodes c) pool.caches 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-net routing                                                     *)
+(* ------------------------------------------------------------------ *)
 
 (* Candidate Steiner nodes: wire nodes inside the bounding box, thinned to
    the configured cap. *)
@@ -137,32 +189,27 @@ let candidates_for rrg cfg pred =
     List.filteri (fun i _ -> i mod stride = 0) !acc
   end
 
-let solve_tree_alg alg rrg cfg net ~restricted =
-  let g = rrg.Rrg.graph in
+let solve_tree_alg pool alg rrg cfg net ~restricted =
   let cnet = Netlist.rrg_net rrg net in
-  if restricted then begin
-    let pred = bbox_pred rrg cfg net in
-    let cache = G.Dist_cache.create ~restrict:pred g in
-    let candidates = candidates_for rrg cfg pred in
-    alg.C.Routing_alg.solve ~candidates cache ~net:cnet
-  end
-  else begin
-    let cache = G.Dist_cache.create g in
-    let candidates = candidates_for rrg cfg (fun _ -> true) in
-    alg.C.Routing_alg.solve ~candidates cache ~net:cnet
-  end
+  let cache = pool_cache pool rrg cfg net ~restricted in
+  let pred = if restricted then bbox_pred rrg cfg net else fun _ -> true in
+  let candidates = candidates_for rrg cfg pred in
+  alg.C.Routing_alg.solve ~candidates cache ~net:cnet
 
 (* The CGE/SEGA/GBP-style baseline: each source-sink connection is routed
-   as an independent two-pin net on its own wires. *)
-let solve_two_pin rrg cfg net ~restricted =
+   as an independent two-pin net on its own wires.  Each connection is a
+   single-target query, so in targeted mode the search stops at its sink;
+   claiming a connection's wires bumps the graph version, which makes the
+   shared cache recompute for the next sink exactly as a fresh run would. *)
+let solve_two_pin pool rrg cfg net ~restricted =
   let g = rrg.Rrg.graph in
   let cnet = Netlist.rrg_net rrg net in
   let src = cnet.C.Net.source in
-  let restrict = if restricted then Some (bbox_pred rrg cfg net) else None in
+  let cache = pool_cache pool rrg cfg net ~restricted in
   let committed = ref [] in
   let undo () = List.iter (G.Wgraph.enable_node g) !committed in
   let route_sink edges sink =
-    let r = G.Dijkstra.run ?restrict g ~src in
+    let r = G.Dist_cache.result_for cache ~src ~targets:[ sink ] in
     if not (G.Dijkstra.reachable r sink) then begin
       undo ();
       C.Routing_err.fail "two-pin"
@@ -183,13 +230,13 @@ let solve_two_pin rrg cfg net ~restricted =
   undo ();
   G.Tree.of_edges edges
 
-let solve_net cfg rrg net ~restricted =
+let solve_net pool cfg rrg net ~restricted =
   let critical = match cfg.critical_strategy with Some p -> p net | None -> false in
-  if critical then solve_tree_alg cfg.critical_alg rrg cfg net ~restricted
+  if critical then solve_tree_alg pool cfg.critical_alg rrg cfg net ~restricted
   else
     match cfg.strategy with
-    | Tree_alg alg -> solve_tree_alg alg rrg cfg net ~restricted
-    | Two_pin_decomposition -> solve_two_pin rrg cfg net ~restricted
+    | Tree_alg alg -> solve_tree_alg pool alg rrg cfg net ~restricted
+    | Two_pin_decomposition -> solve_two_pin pool rrg cfg net ~restricted
 
 (* Commit a routed net: consume its resources and add congestion pressure
    around the channel segments it used. *)
@@ -220,9 +267,10 @@ let commit cfg rrg net tree =
         (Rrg.wires_of_segment rrg seg))
     touched_segments
 
-(* Max source-sink pathlength of a routed tree measured with the
-   pre-congestion base weights (physical wirelength along the path). *)
-let base_max_path snap g tree ~net_src ~sinks =
+(* Max source-sink pathlength of a routed tree under the given per-edge
+   weight (the router passes the pre-congestion base weights, so this is
+   physical wirelength along the path). *)
+let max_path_of_tree ~weight g tree ~net_src ~sinks =
   let adj = Hashtbl.create 64 in
   let add u x =
     let cur = try Hashtbl.find adj u with Not_found -> [] in
@@ -231,8 +279,8 @@ let base_max_path snap g tree ~net_src ~sinks =
   List.iter
     (fun e ->
       let u, v = G.Wgraph.endpoints g e in
-      add u (v, snap.weights.(e));
-      add v (u, snap.weights.(e)))
+      add u (v, weight e);
+      add v (u, weight e))
     tree.G.Tree.edges;
   let dist = Hashtbl.create 64 in
   let rec dfs u d =
@@ -243,20 +291,30 @@ let base_max_path snap g tree ~net_src ~sinks =
   in
   dfs net_src 0.;
   List.fold_left
-    (fun acc s -> match Hashtbl.find_opt dist s with Some d -> max acc d | None -> acc)
+    (fun acc s ->
+      match Hashtbl.find_opt dist s with
+      | Some d -> max acc d
+      | None ->
+          (* A committed tree must span every sink; reaching this means the
+             construction (or the commit bookkeeping) is broken, and
+             silently skipping the sink would under-report pathlength. *)
+          invalid_arg (Printf.sprintf "Router.max_path_of_tree: sink %d not spanned by tree" s))
     0. sinks
+
+let base_max_path snap g tree ~net_src ~sinks =
+  max_path_of_tree ~weight:(fun e -> snap.weights.(e)) g tree ~net_src ~sinks
 
 (* ------------------------------------------------------------------ *)
 (* Passes                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let route_one_pass cfg rrg order snap =
+let route_one_pass pool cfg rrg order snap =
   let g = rrg.Rrg.graph in
   let routed = ref [] and failed = ref [] in
   List.iter
     (fun net ->
       let attempt restricted =
-        match solve_net cfg rrg net ~restricted with
+        match solve_net pool cfg rrg net ~restricted with
         | tree -> Some tree
         | exception C.Routing_err.Unroutable _ -> None
       in
@@ -269,6 +327,10 @@ let route_one_pass cfg rrg order snap =
           in
           let wires_used = Rrg.wirelength rrg tree in
           commit cfg rrg net tree;
+          (* The commit just mutated weights/enables; version checks would
+             catch it lazily, but dropping the stale entries here keeps the
+             dependency explicit. *)
+          pool_invalidate pool;
           routed := { net; tree; wires_used; max_path } :: !routed)
     order;
   (List.rev !routed, List.rev !failed)
@@ -283,13 +345,14 @@ let route ?(config = default_config) rrg circuit =
   if circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
   then invalid_arg "Router.route: circuit does not fit architecture";
   let snap = take_snapshot rrg.Rrg.graph in
+  let pool = make_pool config rrg.Rrg.graph in
   (* Early cutoff: if the number of failing nets has not improved for
      [stall_limit] consecutive passes, the width is hopeless — declaring
      failure early saves most of the downward-infeasible probes. *)
   let stall_limit = 6 in
   let rec passes order n ~best ~stalled =
     restore rrg.Rrg.graph snap;
-    let routed, failed = route_one_pass config rrg order snap in
+    let routed, failed = route_one_pass pool config rrg order snap in
     if failed = [] then
       Ok
         {
@@ -298,6 +361,8 @@ let route ?(config = default_config) rrg circuit =
           total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
           total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
           peak_occupancy = peak_occupancy rrg;
+          dijkstra_runs = pool_runs pool;
+          settled_nodes = pool_settled pool;
         }
     else begin
       let count = List.length failed in

@@ -37,6 +37,11 @@ type config = {
           across channels and measurably lowers achievable widths *)
   bbox_margin : float;  (** candidate/search pruning margin in blocks; default 3. *)
   max_candidates : int;  (** cap on Steiner-candidate scans; default 2500 *)
+  targeted_dijkstra : bool;
+      (** run target-bounded, resumable Dijkstra searches (default [true]);
+          [false] forces every search to settle its whole (restricted)
+          graph — the pre-targeting behavior, kept for A/B benchmarking.
+          Routed trees are identical either way; only the work differs. *)
 }
 
 val default_config : config
@@ -56,12 +61,30 @@ type stats = {
   total_wirelength : float;
   total_max_path : float;
   peak_occupancy : int;  (** max wires consumed in any channel segment *)
+  dijkstra_runs : int;
+      (** Dijkstra searches started across all passes (shared-cache misses) *)
+  settled_nodes : int;
+      (** total nodes settled by those searches — the work metric targeted
+          mode reduces *)
 }
 
 type failure = {
   failed_nets : string list;  (** nets still failing in the last pass *)
   passes_tried : int;
 }
+
+val max_path_of_tree :
+  weight:(Fr_graph.Wgraph.edge -> float) ->
+  Fr_graph.Wgraph.t ->
+  Fr_graph.Tree.t ->
+  net_src:int ->
+  sinks:int list ->
+  float
+(** Max source-sink pathlength of a routed tree under the given per-edge
+    weight.  The router measures committed trees with the pre-congestion
+    base weights; exposed for tests and analysis.
+    @raise Invalid_argument if some sink is not spanned by the tree —
+    silently skipping it would under-report pathlength. *)
 
 val route : ?config:config -> Rrg.t -> Netlist.circuit -> (stats, failure) result
 (** Routes the whole circuit.  The RRG is left in the final pass's state

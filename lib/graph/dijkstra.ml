@@ -1,49 +1,135 @@
+(* Resumption state: everything needed to settle more nodes later.  The
+   dist/parent arrays of the owning [result] are refined in place, so a
+   partial run transparently *extends* into a full one. *)
+type state = {
+  g : Wgraph.t;
+  ver : int;  (* Wgraph.version at creation; resuming after a mutation is unsound *)
+  allowed : int -> bool;
+  edge_allowed : Wgraph.edge -> bool;
+  heap : Heap.t;
+  settled : bool array;
+  mutable settled_count : int;
+  mutable exhausted : bool;
+}
+
 type result = {
   src : int;
   dist : float array;
   parent_edge : int array;
   parent_node : int array;
+  state : state;
 }
 
-let run ?restrict ?edge_ok g ~src =
-  let n = Wgraph.num_nodes g in
-  if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
-  let dist = Array.make n infinity in
-  let parent_edge = Array.make n (-1) in
-  let parent_node = Array.make n (-1) in
-  let settled = Array.make n false in
-  let allowed u = match restrict with None -> true | Some p -> u = src || p u in
-  let edge_allowed e = match edge_ok with None -> true | Some p -> p e in
-  let heap = Heap.create ~capacity:(2 * n) () in
-  dist.(src) <- 0.;
-  Heap.push heap 0. src;
+let settled_count r = r.state.settled_count
+
+let is_settled r v = r.state.settled.(v)
+
+let complete r = r.state.exhausted
+
+(* Settle nodes in distance order until [stop u] holds for a just-settled
+   node [u], or the heap runs dry. *)
+let drain_until r stop =
+  let st = r.state in
   let rec loop () =
-    match Heap.pop_min heap with
-    | None -> ()
+    match Heap.pop_min st.heap with
+    | None -> st.exhausted <- true
     | Some (d, u) ->
-        if not settled.(u) then begin
-          settled.(u) <- true;
+        if st.settled.(u) then loop ()
+        else begin
+          st.settled.(u) <- true;
+          st.settled_count <- st.settled_count + 1;
           (* [d] can be stale only if u was reachable more cheaply, in which
              case settled.(u) was already set.  Here d = dist.(u). *)
-          Wgraph.iter_adj g u (fun e v w ->
-              if (not settled.(v)) && allowed v && edge_allowed e then begin
+          Wgraph.iter_adj st.g u (fun e v w ->
+              if (not st.settled.(v)) && st.allowed v && st.edge_allowed e then begin
                 let nd = d +. w in
-                if nd < dist.(v) then begin
-                  dist.(v) <- nd;
-                  parent_edge.(v) <- e;
-                  parent_node.(v) <- u;
-                  Heap.push heap nd v
+                if nd < r.dist.(v) then begin
+                  r.dist.(v) <- nd;
+                  r.parent_edge.(v) <- e;
+                  r.parent_node.(v) <- u;
+                  Heap.push st.heap nd v
                 end
-              end)
-        end;
-        loop ()
+              end);
+          if not (stop u) then loop ()
+        end
   in
-  loop ();
-  { src; dist; parent_edge; parent_node }
+  if not st.exhausted then loop ()
 
-let dist r v = r.dist.(v)
+let check_resumable st what =
+  if Wgraph.version st.g <> st.ver then
+    invalid_arg ("Dijkstra." ^ what ^ ": graph mutated since the run started")
 
-let reachable r v = r.dist.(v) < infinity
+let extend_all r =
+  if not r.state.exhausted then begin
+    check_resumable r.state "extend_all";
+    drain_until r (fun _ -> false)
+  end
+
+let extend r ~targets =
+  let st = r.state in
+  if not st.exhausted then begin
+    let n = Array.length r.dist in
+    let pending = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        if v < 0 || v >= n then invalid_arg "Dijkstra.extend: target out of range";
+        if not st.settled.(v) then Hashtbl.replace pending v ())
+      targets;
+    if Hashtbl.length pending > 0 then begin
+      check_resumable st "extend";
+      drain_until r (fun u ->
+          Hashtbl.remove pending u;
+          Hashtbl.length pending = 0)
+    end
+  end
+
+let run ?restrict ?edge_ok ?targets g ~src =
+  let n = Wgraph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
+  let allowed = match restrict with None -> fun _ -> true | Some p -> fun u -> u = src || p u in
+  let edge_allowed = match edge_ok with None -> fun _ -> true | Some p -> p in
+  let state =
+    {
+      g;
+      ver = Wgraph.version g;
+      allowed;
+      edge_allowed;
+      heap = Heap.create ~capacity:64 ();
+      settled = Array.make n false;
+      settled_count = 0;
+      exhausted = false;
+    }
+  in
+  let r =
+    {
+      src;
+      dist = Array.make n infinity;
+      parent_edge = Array.make n (-1);
+      parent_node = Array.make n (-1);
+      state;
+    }
+  in
+  r.dist.(src) <- 0.;
+  Heap.push state.heap 0. src;
+  (match targets with None -> extend_all r | Some ts -> extend r ~targets:ts);
+  r
+
+(* Accessors settle on demand, so a targeted result answers queries beyond
+   its original targets exactly like a full run would. *)
+let ensure r v =
+  let st = r.state in
+  if not (st.exhausted || st.settled.(v)) then begin
+    check_resumable st "extend";
+    drain_until r (fun u -> u = v)
+  end
+
+let dist r v =
+  ensure r v;
+  r.dist.(v)
+
+let reachable r v =
+  ensure r v;
+  r.dist.(v) < infinity
 
 let path_edges r v =
   if not (reachable r v) then invalid_arg "Dijkstra.path_edges: unreachable node";
@@ -56,6 +142,7 @@ let path_nodes r v =
   up v []
 
 let spt_edges r =
+  extend_all r;
   let acc = ref [] in
   Array.iter (fun e -> if e >= 0 then acc := e :: !acc) r.parent_edge;
   !acc

@@ -1,25 +1,66 @@
-(** Dijkstra single-source shortest paths (paper reference [16]).
+(** Dijkstra single-source shortest paths (paper reference [16]), with
+    target-bounded early termination and transparent resumption.
 
     Used everywhere: distance graphs for KMB/ZEL (§8), dominance tests
     (Def 4.1), the DJKA baseline (§5), and path embedding for all
-    constructions. *)
+    constructions.
+
+    A run made with [~targets] settles only as much of the graph as needed
+    to finalize those nodes; the returned {!result} keeps its frontier
+    (heap + settled set) so later queries {e resume} the search instead of
+    recomputing it.  All accessor functions ({!dist}, {!reachable},
+    {!path_edges}, …) settle on demand, so a targeted result answers every
+    query with exactly the values a full run would produce. *)
+
+type state
+(** Opaque resumption state (frontier heap, settled set, counters). *)
 
 type result = {
   src : int;
-  dist : float array;  (** [infinity] where unreachable *)
-  parent_edge : int array;  (** [-1] at the source / unreachable nodes *)
-  parent_node : int array;  (** [-1] at the source / unreachable nodes *)
+  dist : float array;
+      (** [infinity] where unreachable.  Raw reads are final only for
+          settled nodes (see {!is_settled}/{!complete}); use {!dist} or
+          {!extend} first when the result may be partial. *)
+  parent_edge : int array;  (** [-1] at the source / unreached nodes *)
+  parent_node : int array;  (** [-1] at the source / unreached nodes *)
+  state : state;
 }
 
 val run :
-  ?restrict:(int -> bool) -> ?edge_ok:(Wgraph.edge -> bool) -> Wgraph.t -> src:int -> result
-(** Full single-source shortest paths over enabled nodes/edges.
-    [restrict] further limits the explored node set (the router's
-    bounding-box pruning); the source is always allowed.  [edge_ok] limits
-    the usable edges (used to compute shortest-path trees inside the union
-    subgraph of the arborescence constructions). *)
+  ?restrict:(int -> bool) ->
+  ?edge_ok:(Wgraph.edge -> bool) ->
+  ?targets:int list ->
+  Wgraph.t ->
+  src:int ->
+  result
+(** Single-source shortest paths over enabled nodes/edges.  [restrict]
+    further limits the explored node set (the router's bounding-box
+    pruning); the source is always allowed.  [edge_ok] limits the usable
+    edges (used to compute shortest-path trees inside the union subgraph of
+    the arborescence constructions).  [targets], when given, stops the
+    search as soon as every listed node is settled (unreachable targets
+    exhaust the search); without it the whole graph is settled. *)
+
+val extend : result -> targets:int list -> unit
+(** Resume a partial run until every listed node is settled (or the search
+    is exhausted).  No-op for already-settled targets.
+    @raise Invalid_argument if the graph was mutated since [run]. *)
+
+val extend_all : result -> unit
+(** Resume until the search is exhausted (equivalent to a full run). *)
+
+val settled_count : result -> int
+(** Number of nodes settled so far — the unit of Dijkstra work that
+    {!Dist_cache} budgets and benchmarks report. *)
+
+val is_settled : result -> int -> bool
+(** Whether this node's [dist]/parent entries are final. *)
+
+val complete : result -> bool
+(** Whether the search is exhausted (every reachable node settled). *)
 
 val dist : result -> int -> float
+(** Final distance to the node, resuming the search if needed. *)
 
 val reachable : result -> int -> bool
 
@@ -32,4 +73,4 @@ val path_nodes : result -> int -> int list
 
 val spt_edges : result -> Wgraph.edge list
 (** All parent edges of the shortest-paths tree (one per reached non-source
-    node). *)
+    node).  Forces {!extend_all} so the tree is complete. *)

@@ -1,36 +1,105 @@
+type entry = {
+  res : Dijkstra.result;
+  mutable tick : int;  (* last-touch LRU clock value *)
+}
+
 type t = {
   g : Wgraph.t;
   restrict : (int -> bool) option;
-  table : (int, Dijkstra.result) Hashtbl.t;
+  targeted : bool;
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
   mutable stamp : int;
-  mutable count : int;
+  mutable clock : int;
+  (* Monotone lifetime counters; survive invalidations and evictions. *)
+  mutable runs : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable settled_gone : int;  (* settled nodes of dropped entries *)
 }
 
-let create ?restrict g =
-  { g; restrict; table = Hashtbl.create 64; stamp = Wgraph.version g; count = 0 }
+let default_capacity = 1024
+
+let create ?restrict ?(targeted = true) ?(capacity = default_capacity) g =
+  if capacity < 1 then invalid_arg "Dist_cache.create: capacity must be >= 1";
+  {
+    g;
+    restrict;
+    targeted;
+    capacity;
+    table = Hashtbl.create 64;
+    stamp = Wgraph.version g;
+    clock = 0;
+    runs = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    settled_gone = 0;
+  }
 
 let graph t = t.g
 
-let refresh t =
-  let v = Wgraph.version t.g in
-  if v <> t.stamp then begin
-    Hashtbl.reset t.table;
-    t.stamp <- v
-  end
+let drop_all t =
+  Hashtbl.iter (fun _ e -> t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res) t.table;
+  Hashtbl.reset t.table
 
-let result t ~src =
+let invalidate t =
+  drop_all t;
+  t.stamp <- Wgraph.version t.g
+
+let refresh t = if Wgraph.version t.g <> t.stamp then invalidate t
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun src e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.tick -> ()
+      | _ -> victim := Some (src, e.tick))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (src, _) ->
+      let e = Hashtbl.find t.table src in
+      t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res;
+      Hashtbl.remove t.table src;
+      t.evictions <- t.evictions + 1
+
+(* Look up (or run) the per-source result, bounded to [targets] when the
+   cache is in targeted mode.  [targets = None] demands a complete result. *)
+let lookup t ~src ~targets =
   refresh t;
+  let targets = if t.targeted then targets else None in
   match Hashtbl.find_opt t.table src with
-  | Some r -> r
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      (match targets with
+      | None -> Dijkstra.extend_all e.res
+      | Some ts -> Dijkstra.extend e.res ~targets:ts);
+      e.res
   | None ->
-      let r = Dijkstra.run ?restrict:t.restrict t.g ~src in
-      Hashtbl.add t.table src r;
-      t.count <- t.count + 1;
-      r
+      t.misses <- t.misses + 1;
+      let res = Dijkstra.run ?restrict:t.restrict ?targets t.g ~src in
+      t.runs <- t.runs + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let e = { res; tick = 0 } in
+      touch t e;
+      Hashtbl.add t.table src e;
+      res
 
-let dist t ~src ~dst = Dijkstra.dist (result t ~src) dst
+let result t ~src = lookup t ~src ~targets:None
 
-let path_edges t ~src ~dst = Dijkstra.path_edges (result t ~src) dst
+let result_for t ~src ~targets = lookup t ~src ~targets:(Some targets)
+
+let dist t ~src ~dst = Dijkstra.dist (result_for t ~src ~targets:[ dst ]) dst
+
+let path_edges t ~src ~dst = Dijkstra.path_edges (result_for t ~src ~targets:[ dst ]) dst
 
 let cached t src =
   refresh t;
@@ -46,4 +115,13 @@ let path_edges_sym t a b =
   let src, dst = pick_cached_side t a b in
   path_edges t ~src ~dst
 
-let runs t = t.count
+let runs t = t.runs
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let settled_nodes t =
+  Hashtbl.fold (fun _ e acc -> acc + Dijkstra.settled_count e.res) t.table t.settled_gone

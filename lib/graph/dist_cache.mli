@@ -1,23 +1,50 @@
-(** Memoized per-source Dijkstra results.
+(** Memoized per-source Dijkstra results — the shared shortest-path
+    performance layer.
 
     The iterated constructions (IGMST §3, IDOM §4.2) repeatedly need
     distances between terminals, Steiner candidates, and accepted Steiner
     nodes.  Because the graph is undirected, [dist(t, s) = dist(s, t)], so a
     single Dijkstra per terminal answers the Δ-scan for *every* candidate —
-    the "factoring out common computations" the paper prescribes.  The cache
-    is invalidated automatically when the host graph's version changes. *)
+    the "factoring out common computations" the paper prescribes.
+
+    Three mechanisms keep the layer cheap:
+
+    - {b Target-bounded queries.}  In targeted mode (the default),
+      point-to-point queries run Dijkstra only until the requested nodes are
+      settled and store the {e partial} result; a later query that needs a
+      farther node transparently resumes the same search ({!Dijkstra.extend}).
+    - {b Versioned invalidation.}  Every entry is checked against
+      {!Wgraph.version}; any weight or enable/disable mutation of the host
+      graph drops the whole table before the next query (see {!invalidate}
+      for the explicit form).
+    - {b LRU capacity bound.}  At most [capacity] per-source entries are
+      kept; inserting past the bound evicts the least-recently-used source.
+
+    Hit/miss/eviction/settled-node counters expose the layer's behavior to
+    benchmarks and tests. *)
 
 type t
 
-val create : ?restrict:(int -> bool) -> Wgraph.t -> t
+val create : ?restrict:(int -> bool) -> ?targeted:bool -> ?capacity:int -> Wgraph.t -> t
 (** [restrict] applies to every memoized Dijkstra run (candidate-pruning on
     big routing graphs); callers must ensure all nodes they query satisfy
-    it. *)
+    it.  [targeted] (default [true]) enables target-bounded partial runs;
+    [false] forces every run to settle the whole graph (the pre-targeting
+    behavior, kept for A/B benchmarking).  [capacity] (default 1024) bounds
+    the number of cached sources; the least recently used is evicted. *)
 
 val graph : t -> Wgraph.t
 
 val result : t -> src:int -> Dijkstra.result
-(** The memoized single-source result, recomputed if the graph changed. *)
+(** The memoized single-source result, {e complete} (every reachable node
+    settled, so raw [dist] array reads are final), recomputed if the graph
+    changed. *)
+
+val result_for : t -> src:int -> targets:int list -> Dijkstra.result
+(** Like {!result} but only guarantees the listed nodes are settled — the
+    cheap form for Δ-scans that read the [dist] array at known indices.
+    The returned result may be partial; reads beyond [targets] must go
+    through {!Dijkstra.dist} (which resumes on demand). *)
 
 val dist : t -> src:int -> dst:int -> float
 
@@ -36,5 +63,24 @@ val path_edges_sym : t -> int -> int -> Wgraph.edge list
 (** Shortest-path edge set between two nodes, served like {!dist_sym}
     (edge sets are orientation-independent). *)
 
+val invalidate : t -> unit
+(** Drop every entry and re-stamp at the graph's current version.  Version
+    checks make this automatic; the router calls it explicitly after
+    committing a net so the dependency is visible at the call site. *)
+
 val runs : t -> int
-(** Number of actual Dijkstra executions so far (test/benchmark hook). *)
+(** Number of Dijkstra searches started (= misses) over the cache's
+    lifetime. *)
+
+val hits : t -> int
+(** Queries answered from a live entry (possibly after resuming it). *)
+
+val misses : t -> int
+
+val evictions : t -> int
+(** Entries dropped by the LRU capacity bound (not by invalidation). *)
+
+val settled_nodes : t -> int
+(** Total nodes settled by every search this cache ever ran, including
+    entries since evicted or invalidated — the work metric the bench
+    compares between targeted and full modes. *)

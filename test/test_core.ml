@@ -335,6 +335,43 @@ let prop_all_algorithms_valid =
           valid && arb_ok)
         C.Routing_alg.all)
 
+(* Targeted (partial, resumable) distance queries must not change any
+   construction: a targeted cache and a full-settle cache yield the exact
+   same tree for every algorithm, with and without a candidate bound. *)
+let prop_targeted_cache_identical_trees =
+  QCheck.Test.make ~name:"all 8 algorithms: targeted cache = full cache" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, net = random_instance seed ~n:25 ~m:60 ~k:5 in
+      let candidates =
+        List.filteri (fun i _ -> i mod 2 = 0) (List.init (G.Wgraph.num_nodes g) Fun.id)
+      in
+      let edges t = List.sort compare t.G.Tree.edges in
+      List.for_all
+        (fun alg ->
+          let solve cache ?candidates () = alg.C.Routing_alg.solve ?candidates cache ~net in
+          let t_full = solve (G.Dist_cache.create ~targeted:false g) () in
+          let t_targ = solve (G.Dist_cache.create g) () in
+          let c_full = solve (G.Dist_cache.create ~targeted:false g) ~candidates () in
+          let c_targ = solve (G.Dist_cache.create g) ~candidates () in
+          edges t_full = edges t_targ && edges c_full = edges c_targ)
+        C.Routing_alg.all)
+
+(* A tight LRU bound forces evictions mid-construction; results must not
+   change (evicted sources are just recomputed). *)
+let prop_tiny_cache_identical_trees =
+  QCheck.Test.make ~name:"capacity-2 cache = unbounded cache" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g, net = random_instance seed ~n:20 ~m:50 ~k:4 in
+      let edges t = List.sort compare t.G.Tree.edges in
+      List.for_all
+        (fun alg ->
+          let big = alg.C.Routing_alg.solve (G.Dist_cache.create g) ~net in
+          let tiny = alg.C.Routing_alg.solve (G.Dist_cache.create ~capacity:2 g) ~net in
+          edges big = edges tiny)
+        C.Routing_alg.all)
+
 let prop_idom_trace_decreasing =
   QCheck.Test.make ~name:"IDOM distance-graph cost strictly decreases" ~count:20
     QCheck.(int_range 0 10_000)
@@ -517,6 +554,8 @@ let () =
           Alcotest.test_case "2-pin nets" `Quick test_arborescence_single_sink;
           Alcotest.test_case "unroutable" `Quick test_unroutable_arborescence;
           QCheck_alcotest.to_alcotest prop_all_algorithms_valid;
+          QCheck_alcotest.to_alcotest prop_targeted_cache_identical_trees;
+          QCheck_alcotest.to_alcotest prop_tiny_cache_identical_trees;
           QCheck_alcotest.to_alcotest prop_idom_trace_decreasing;
           QCheck_alcotest.to_alcotest prop_steiner_cheaper_or_equal_arborescence_on_avg;
         ] );

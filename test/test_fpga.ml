@@ -409,6 +409,47 @@ let test_router_infeasible_width () =
       Alcotest.(check bool) "passes tried" true (f.F.Router.passes_tried = 3);
       Alcotest.(check bool) "failed nets reported" true (f.F.Router.failed_nets <> [])
 
+let test_max_path_unspanned_sink_raises () =
+  (* A path-graph "tree" 0-1-2 does not span sink 3: measuring it must
+     raise instead of silently skipping the sink (the old behavior
+     under-reported pathlength). *)
+  let g = G.Wgraph.create 4 in
+  let e01 = G.Wgraph.add_edge g 0 1 1. in
+  let e12 = G.Wgraph.add_edge g 1 2 1. in
+  ignore (G.Wgraph.add_edge g 2 3 1.);
+  let tree = G.Tree.of_edges [ e01; e12 ] in
+  let weight e = G.Wgraph.weight g e in
+  Alcotest.(check (float 1e-9))
+    "spanned sinks measured" 2.
+    (F.Router.max_path_of_tree ~weight g tree ~net_src:0 ~sinks:[ 1; 2 ]);
+  Alcotest.check_raises "unspanned sink raises"
+    (Invalid_argument "Router.max_path_of_tree: sink 3 not spanned by tree") (fun () ->
+      ignore (F.Router.max_path_of_tree ~weight g tree ~net_src:0 ~sinks:[ 2; 3 ]))
+
+let test_router_targeted_matches_full () =
+  let circuit = tiny_circuit () in
+  let run targeted =
+    let rrg = F.Rrg.build (small_arch ()) in
+    let config = { F.Router.default_config with F.Router.targeted_dijkstra = targeted } in
+    match F.Router.route ~config rrg circuit with
+    | Error _ -> Alcotest.fail "tiny circuit should route"
+    | Ok stats -> stats
+  in
+  let full = run false and targ = run true in
+  let trees stats =
+    List.map
+      (fun r -> (r.F.Router.net.F.Netlist.net_name, List.sort compare r.F.Router.tree.G.Tree.edges))
+      stats.F.Router.routed
+  in
+  Alcotest.(check bool) "same trees" true (trees full = trees targ);
+  Alcotest.(check (float 1e-9))
+    "same wirelength" full.F.Router.total_wirelength targ.F.Router.total_wirelength;
+  Alcotest.(check int) "same passes" full.F.Router.passes targ.F.Router.passes;
+  Alcotest.(check bool) "ran searches" true (targ.F.Router.dijkstra_runs > 0);
+  Alcotest.(check bool) "settled counted" true (targ.F.Router.settled_nodes > 0);
+  Alcotest.(check bool) "targeted settles no more" true
+    (targ.F.Router.settled_nodes <= full.F.Router.settled_nodes)
+
 let test_router_min_channel_width () =
   let circuit = tiny_circuit () in
   let arch_of_width w = F.Arch.xc4000 ~rows:4 ~cols:5 ~channel_width:w in
@@ -620,6 +661,8 @@ let () =
           Alcotest.test_case "electrically disjoint" `Quick test_router_disjoint_resources;
           Alcotest.test_case "trees span nets" `Quick test_router_trees_span_their_nets;
           Alcotest.test_case "infeasible width" `Quick test_router_infeasible_width;
+          Alcotest.test_case "unspanned sink raises" `Quick test_max_path_unspanned_sink_raises;
+          Alcotest.test_case "targeted = full" `Quick test_router_targeted_matches_full;
           Alcotest.test_case "min channel width" `Quick test_router_min_channel_width;
           Alcotest.test_case "all strategies" `Quick test_router_strategies_agree_on_feasibility;
           Alcotest.test_case "two-pin wastes wire" `Quick test_router_two_pin_uses_more_wire;

@@ -445,6 +445,120 @@ let test_dist_cache_sym () =
   let total = List.fold_left (fun acc e -> acc +. G.Wgraph.weight g e) 0. p in
   Alcotest.(check (float 1e-9)) "sym path cost" 2.5 total
 
+(* Targeted runs and resumed partial runs must agree with a full run
+   everywhere: settled prefixes of Dijkstra are final. *)
+let prop_targeted_equals_full =
+  QCheck.Test.make ~name:"targeted/resumed Dijkstra = full run" ~count:60
+    QCheck.(pair (int_range 3 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = G.Random_graph.connected rng ~n ~m:(3 * n) ~wmin:0.2 ~wmax:5. in
+      let full = G.Dijkstra.run g ~src:0 in
+      let some_targets = [ n - 1; n / 2 ] in
+      let r = G.Dijkstra.run ~targets:some_targets g ~src:0 in
+      List.iter
+        (fun t ->
+          if not (G.Dijkstra.is_settled r t) then
+            QCheck.Test.fail_reportf "target %d not settled" t)
+        some_targets;
+      if G.Dijkstra.settled_count r > G.Dijkstra.settled_count full then
+        QCheck.Test.fail_report "targeted settled more than full";
+      (* Resume towards every node, in two steps, then compare everywhere. *)
+      G.Dijkstra.extend r ~targets:[ 1; n - 2 ];
+      G.Dijkstra.extend_all r;
+      for v = 0 to n - 1 do
+        if G.Dijkstra.dist full v <> G.Dijkstra.dist r v then
+          QCheck.Test.fail_reportf "dist mismatch at %d" v;
+        let cost edges = List.fold_left (fun a e -> a +. G.Wgraph.weight g e) 0. edges in
+        let pf = cost (G.Dijkstra.path_edges full v) and pr = cost (G.Dijkstra.path_edges r v) in
+        if Float.abs (pf -. pr) > 1e-9 then QCheck.Test.fail_reportf "path mismatch at %d" v
+      done;
+      true)
+
+(* On-demand accessors transparently extend a partial result. *)
+let test_dijkstra_lazy_extension () =
+  let rng = Rng.make 77 in
+  let g = G.Random_graph.connected rng ~n:40 ~m:120 ~wmin:0.5 ~wmax:3. in
+  let full = G.Dijkstra.run g ~src:0 in
+  let r = G.Dijkstra.run ~targets:[ 1 ] g ~src:0 in
+  Alcotest.(check bool) "partial" true (G.Dijkstra.settled_count r <= G.Dijkstra.settled_count full);
+  (* dist on an unsettled node resumes the search rather than lying. *)
+  Alcotest.(check (float 1e-9)) "lazy dist" (G.Dijkstra.dist full 39) (G.Dijkstra.dist r 39);
+  Alcotest.(check bool) "now settled" true (G.Dijkstra.is_settled r 39);
+  G.Dijkstra.extend_all r;
+  Alcotest.(check bool) "complete" true (G.Dijkstra.complete r);
+  Alcotest.(check int) "same settled" (G.Dijkstra.settled_count full) (G.Dijkstra.settled_count r)
+
+let test_dijkstra_stale_resume_rejected () =
+  let g, e01, _, _, _, _ = diamond () in
+  let r = G.Dijkstra.run ~targets:[ 1 ] g ~src:0 in
+  G.Wgraph.set_weight g e01 10.;
+  Alcotest.check_raises "stale resume"
+    (Invalid_argument "Dijkstra.extend: graph mutated since the run started") (fun () ->
+      G.Dijkstra.extend r ~targets:[ 3 ])
+
+(* LRU eviction and graph mutations must never surface stale distances. *)
+let prop_cache_never_stale =
+  QCheck.Test.make ~name:"LRU + version bumps never stale" ~count:40
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let n = 25 in
+      let g = G.Random_graph.connected rng ~n ~m:(3 * n) ~wmin:0.5 ~wmax:4. in
+      let c = G.Dist_cache.create ~capacity:2 g in
+      for step = 0 to 49 do
+        (* Occasionally perturb a weight: bumps the version. *)
+        if step mod 7 = 3 then begin
+          let e = Rng.int rng (G.Wgraph.num_edges g) in
+          G.Wgraph.set_weight g e (0.5 +. Rng.float rng 4.)
+        end;
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        let got = G.Dist_cache.dist c ~src ~dst in
+        let want = G.Dijkstra.dist (G.Dijkstra.run g ~src) dst in
+        if got <> want then
+          QCheck.Test.fail_reportf "stale dist %d->%d at step %d" src dst step
+      done;
+      true)
+
+let test_dist_cache_lru_eviction () =
+  let g, _, _, _, _, _ = diamond () in
+  let c = G.Dist_cache.create ~capacity:2 g in
+  ignore (G.Dist_cache.result c ~src:0);
+  ignore (G.Dist_cache.result c ~src:1);
+  Alcotest.(check int) "no eviction yet" 0 (G.Dist_cache.evictions c);
+  ignore (G.Dist_cache.result c ~src:0);
+  (* 1 is now least-recently used; inserting 2 evicts it, not 0. *)
+  ignore (G.Dist_cache.result c ~src:2);
+  Alcotest.(check int) "one eviction" 1 (G.Dist_cache.evictions c);
+  Alcotest.(check bool) "0 survives" true (G.Dist_cache.cached c 0);
+  Alcotest.(check bool) "1 evicted" false (G.Dist_cache.cached c 1);
+  (* Re-querying the evicted source recomputes correctly. *)
+  Alcotest.(check (float 1e-9)) "recomputed" 1.5 (G.Dist_cache.dist c ~src:1 ~dst:3);
+  (* Lifetime settled-node counter includes evicted entries' work. *)
+  Alcotest.(check bool) "settled counter grows" true (G.Dist_cache.settled_nodes c >= 8)
+
+let test_dist_cache_targeted_counters () =
+  let g, _, _, _, _, _ = diamond () in
+  (* Targeted: a near target settles a prefix; full mode settles all 4. *)
+  let ct = G.Dist_cache.create g in
+  ignore (G.Dist_cache.dist ct ~src:0 ~dst:1);
+  let partial = G.Dist_cache.settled_nodes ct in
+  Alcotest.(check bool) "partial settle" true (partial < 4);
+  let cf = G.Dist_cache.create ~targeted:false g in
+  ignore (G.Dist_cache.dist cf ~src:0 ~dst:1);
+  Alcotest.(check int) "full settle" 4 (G.Dist_cache.settled_nodes cf);
+  (* Hits and misses are tracked per query. *)
+  Alcotest.(check int) "miss" 1 (G.Dist_cache.misses ct);
+  ignore (G.Dist_cache.dist ct ~src:0 ~dst:3);
+  Alcotest.(check int) "hit on resume" 1 (G.Dist_cache.hits ct);
+  Alcotest.(check int) "still one run" 1 (G.Dist_cache.runs ct);
+  (* The resumed entry's extra settling is accounted for. *)
+  Alcotest.(check int) "resumed settle" 4 (G.Dist_cache.settled_nodes ct);
+  (* Explicit invalidation drops entries but keeps lifetime counters. *)
+  G.Dist_cache.invalidate ct;
+  Alcotest.(check bool) "dropped" false (G.Dist_cache.cached ct 0);
+  Alcotest.(check int) "counters survive" 4 (G.Dist_cache.settled_nodes ct)
+
 let () =
   Alcotest.run "fr_graph"
     [
@@ -473,8 +587,11 @@ let () =
           Alcotest.test_case "restrict" `Quick test_dijkstra_restrict;
           Alcotest.test_case "edge_ok" `Quick test_dijkstra_edge_ok;
           Alcotest.test_case "spt edges" `Quick test_dijkstra_spt_edges;
+          Alcotest.test_case "lazy extension" `Quick test_dijkstra_lazy_extension;
+          Alcotest.test_case "stale resume rejected" `Quick test_dijkstra_stale_resume_rejected;
           QCheck_alcotest.to_alcotest prop_dijkstra_matches_floyd_warshall;
           QCheck_alcotest.to_alcotest prop_dijkstra_path_cost_consistent;
+          QCheck_alcotest.to_alcotest prop_targeted_equals_full;
         ] );
       ( "mst",
         [
@@ -512,5 +629,8 @@ let () =
           Alcotest.test_case "memoizes" `Quick test_dist_cache_memoizes;
           Alcotest.test_case "invalidation" `Quick test_dist_cache_invalidation;
           Alcotest.test_case "symmetric lookups" `Quick test_dist_cache_sym;
+          Alcotest.test_case "LRU eviction" `Quick test_dist_cache_lru_eviction;
+          Alcotest.test_case "targeted counters" `Quick test_dist_cache_targeted_counters;
+          QCheck_alcotest.to_alcotest prop_cache_never_stale;
         ] );
     ]
