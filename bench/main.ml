@@ -206,10 +206,60 @@ let settled_nodes_section ~specs ~max_passes ~channel_width () =
   Fr_util.Tab.print t;
   (!all_identical, !any_halved)
 
+(* Journal-overlay accounting, at each circuit's published minimum channel
+   width so rip-up passes actually happen.  The restore work is the journal
+   entries undone; the old scheme scanned the full O(V+E) snapshot on every
+   restore regardless of how little the failed pass had touched. *)
+let journal_section ~max_passes () =
+  section "Gstate journal (pass restore cost vs full snapshot)";
+  let t =
+    Fr_util.Tab.create ~title:"undo-journal counters at minimum routable width"
+      ~header:
+        [ "circuit"; "W"; "passes"; "V+E"; "mutations"; "rollbacks"; "restored";
+          "old cost"; "ratio" ]
+  in
+  let all_cheaper = ref true in
+  List.iter
+    (fun spec ->
+      let width =
+        Option.get spec.F.Circuits.published.F.Circuits.ours_ikmb
+      in
+      let circuit = F.Circuits.generate spec in
+      let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
+      let g = rrg.F.Rrg.graph in
+      let snapshot_cost = G.Gstate.num_nodes g + G.Gstate.num_edges g in
+      match F.Router.route ~config:(F.Router.config_with ~max_passes ()) rrg circuit with
+      | Ok s ->
+          (* total entries undone across all rollbacks vs the full-snapshot
+             scans the old restore would have performed *)
+          let restored = G.Gstate.rollback_entries g in
+          let old_cost = s.F.Router.rollbacks * snapshot_cost in
+          if restored >= old_cost then all_cheaper := false;
+          Fr_util.Tab.add_row t
+            [ spec.F.Circuits.circuit;
+              string_of_int width;
+              string_of_int s.F.Router.passes;
+              string_of_int snapshot_cost;
+              string_of_int s.F.Router.mutations;
+              string_of_int s.F.Router.rollbacks;
+              string_of_int restored;
+              string_of_int old_cost;
+              Printf.sprintf "%.2fx" (float_of_int restored /. float_of_int (max 1 old_cost)) ]
+      | Error _ ->
+          all_cheaper := false;
+          Fr_util.Tab.add_row t
+            [ spec.F.Circuits.circuit; string_of_int width; "-"; string_of_int snapshot_cost;
+              "-"; "-"; "-"; "-"; "unroutable" ])
+    [ Option.get (F.Circuits.find_spec "term1"); Option.get (F.Circuits.find_spec "apex7") ];
+  Fr_util.Tab.print t;
+  !all_cheaper
+
 let smoke_main () =
-  let spec = Option.get (F.Circuits.find_spec "term1") in
+  let specs =
+    List.map (fun c -> Option.get (F.Circuits.find_spec c)) [ "term1"; "apex7" ]
+  in
   let identical, halved =
-    settled_nodes_section ~specs:[ spec ] ~max_passes:3 ~channel_width:14 ()
+    settled_nodes_section ~specs ~max_passes:3 ~channel_width:14 ()
   in
   if not identical then begin
     prerr_endline "SMOKE FAIL: targeted and full routes differ (or did not route)";
@@ -219,7 +269,14 @@ let smoke_main () =
     prerr_endline "SMOKE FAIL: targeted mode settled less than 2x fewer nodes";
     exit 1
   end;
-  print_endline "smoke OK: trees identical, targeted settles >= 2x fewer nodes"
+  let journal_cheaper = journal_section ~max_passes:20 () in
+  if not journal_cheaper then begin
+    prerr_endline "SMOKE FAIL: journal restore cost not below full-snapshot scans";
+    exit 1
+  end;
+  print_endline
+    "smoke OK: trees identical, targeted settles >= 2x fewer nodes, journal restore \
+     work below full-snapshot scans"
 
 (* ------------------------------------------------------------------ *)
 (* Full table / figure regeneration                                    *)

@@ -249,7 +249,7 @@ let run_net size congestion seed =
     Fr_util.Tab.create
       ~title:
         (Printf.sprintf "One %d-pin net on a 20x20 grid (congestion k=%d, w=%.2f)" size congestion
-           (G.Wgraph.mean_edge_weight g))
+           (G.Gstate.mean_edge_weight g))
       ~header:[ "Algorithm"; "Wirelength"; "Max path"; "Arborescence?" ]
   in
   List.iter

@@ -3,7 +3,7 @@ module G = Fr_graph
 let solve ~c cache ~net =
   if c < 0. || c > 1. then invalid_arg "Ahhk.solve: c outside [0,1]";
   let g = G.Dist_cache.graph cache in
-  let n = G.Wgraph.num_nodes g in
+  let n = G.Gstate.num_nodes g in
   let source = net.Net.source in
   (* Prim/Dijkstra hybrid: label ℓ(v) = tree pathlength once attached;
      priority of attaching v through (u,v) is c·ℓ(u) + w. *)
@@ -22,9 +22,9 @@ let solve ~c cache ~net =
         if not in_tree.(u) then begin
           in_tree.(u) <- true;
           (if parent_edge.(u) >= 0 then
-             let p = G.Wgraph.other_end g parent_edge.(u) u in
-             path_len.(u) <- path_len.(p) +. G.Wgraph.weight g parent_edge.(u));
-          G.Wgraph.iter_adj g u (fun e v w ->
+             let p = G.Gstate.other_end g parent_edge.(u) u in
+             path_len.(u) <- path_len.(p) +. G.Gstate.weight g parent_edge.(u));
+          G.Gstate.iter_adj g u (fun e v w ->
               if not in_tree.(v) then begin
                 let key = (c *. path_len.(u)) +. w in
                 if key < best_key.(v) then begin

@@ -24,8 +24,8 @@ let elmore ?(params = default_params) g ~tree ~net =
   in
   List.iter
     (fun e ->
-      let u, v = G.Wgraph.endpoints g e in
-      let w = G.Wgraph.weight g e in
+      let u, v = G.Gstate.endpoints g e in
+      let w = G.Gstate.weight g e in
       add u (v, w);
       add v (u, w))
     tree.G.Tree.edges;

@@ -26,7 +26,7 @@ val default_params : params
 
 val elmore :
   ?params:params ->
-  Fr_graph.Wgraph.t ->
+  Fr_graph.Gstate.t ->
   tree:Fr_graph.Tree.t ->
   net:Net.t ->
   (int * float) list
@@ -34,5 +34,5 @@ val elmore :
     @raise Invalid_argument otherwise. *)
 
 val max_delay :
-  ?params:params -> Fr_graph.Wgraph.t -> tree:Fr_graph.Tree.t -> net:Net.t -> float
+  ?params:params -> Fr_graph.Gstate.t -> tree:Fr_graph.Tree.t -> net:Net.t -> float
 (** The critical-sink delay. *)

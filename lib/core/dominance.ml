@@ -40,7 +40,7 @@ let max_dom ?(allowed = fun _ -> true) ?candidates cache ~source ~p ~q =
     let best = ref (-1) and best_d = ref neg_infinity in
     let consider m =
       if
-        G.Wgraph.node_enabled g m && allowed m
+        G.Gstate.node_enabled g m && allowed m
         && dominates_via ~source_dist:sd ~p_dist:pd ~p ~s:m
         && dominates_via ~source_dist:sd ~p_dist:qd ~p:q ~s:m
         && sd m > !best_d
@@ -51,7 +51,7 @@ let max_dom ?(allowed = fun _ -> true) ?candidates cache ~source ~p ~q =
     in
     (match scan with
     | None ->
-        for m = 0 to G.Wgraph.num_nodes g - 1 do
+        for m = 0 to G.Gstate.num_nodes g - 1 do
           consider m
         done
     | Some ms -> List.iter consider ms);

@@ -14,7 +14,7 @@ let steiner g ~terminals =
   if k > max_terminals then invalid_arg "Exact.steiner: too many terminals";
   if k <= 1 then G.Tree.empty
   else begin
-    let n = G.Wgraph.num_nodes g in
+    let n = G.Gstate.num_nodes g in
     let root = ts.(k - 1) in
     let kk = k - 1 in
     let nmasks = 1 lsl kk in
@@ -32,7 +32,7 @@ let steiner g ~terminals =
         | Some (dist, u) ->
             if (not settled.(u)) && dist <= d.(u) +. 1e-12 then begin
               settled.(u) <- true;
-              G.Wgraph.iter_adj g u (fun e v w ->
+              G.Gstate.iter_adj g u (fun e v w ->
                   if (not settled.(v)) && d.(u) +. w < d.(v) then begin
                     d.(v) <- d.(u) +. w;
                     h.(v) <- Walk (u, e);

@@ -9,9 +9,9 @@
 val max_terminals : int
 (** Hard safety limit (12) on the number of terminals. *)
 
-val steiner : Fr_graph.Wgraph.t -> terminals:int list -> Fr_graph.Tree.t
+val steiner : Fr_graph.Gstate.t -> terminals:int list -> Fr_graph.Tree.t
 (** A minimum-cost tree of the enabled subgraph spanning the terminals.
     @raise Invalid_argument beyond {!max_terminals} terminals.
     @raise Routing_err.Unroutable when the terminals are disconnected. *)
 
-val steiner_cost : Fr_graph.Wgraph.t -> terminals:int list -> float
+val steiner_cost : Fr_graph.Gstate.t -> terminals:int list -> float

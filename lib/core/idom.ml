@@ -6,8 +6,8 @@ let default_candidates g terminals =
   let in_net = Hashtbl.create 16 in
   List.iter (fun t -> Hashtbl.replace in_net t ()) terminals;
   let acc = ref [] in
-  for v = G.Wgraph.num_nodes g - 1 downto 0 do
-    if G.Wgraph.node_enabled g v && not (Hashtbl.mem in_net v) then acc := v :: !acc
+  for v = G.Gstate.num_nodes g - 1 downto 0 do
+    if G.Gstate.node_enabled g v && not (Hashtbl.mem in_net v) then acc := v :: !acc
   done;
   !acc
 

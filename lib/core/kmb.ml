@@ -19,8 +19,8 @@ let solve cache ~terminals =
     let sub_edges =
       List.map
         (fun e ->
-          let u, v = G.Wgraph.endpoints g e in
-          (u, v, G.Wgraph.weight g e, e))
+          let u, v = G.Gstate.endpoints g e in
+          (u, v, G.Gstate.weight g e, e))
         expanded
     in
     let chosen, sub_cost = G.Mst.kruskal ~nodes:(Array.to_list ts) ~edges:sub_edges in

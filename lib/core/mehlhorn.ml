@@ -3,7 +3,7 @@ module G = Fr_graph
 (* Multi-source Dijkstra: every terminal starts at distance 0; [owner]
    records which terminal's wave reached each node first. *)
 let voronoi g ~terminals =
-  let n = G.Wgraph.num_nodes g in
+  let n = G.Gstate.num_nodes g in
   let dist = Array.make n infinity in
   let owner = Array.make n (-1) in
   let parent_edge = Array.make n (-1) in
@@ -21,7 +21,7 @@ let voronoi g ~terminals =
     | Some (d, u) ->
         if not settled.(u) then begin
           settled.(u) <- true;
-          G.Wgraph.iter_adj g u (fun e v w ->
+          G.Gstate.iter_adj g u (fun e v w ->
               if (not settled.(v)) && d +. w < dist.(v) then begin
                 dist.(v) <- d +. w;
                 owner.(v) <- owner.(u);
@@ -38,7 +38,7 @@ let path_to_owner g parent_edge u =
   (* Edges from u back to its region's terminal. *)
   let rec up u acc =
     let e = parent_edge.(u) in
-    if e < 0 then acc else up (G.Wgraph.other_end g e u) (e :: acc)
+    if e < 0 then acc else up (G.Gstate.other_end g e u) (e :: acc)
   in
   up u []
 
@@ -50,7 +50,7 @@ let solve g ~terminals =
       let owner, dist, parent_edge = voronoi g ~terminals:ts in
       (* Best bridge between each pair of adjacent regions. *)
       let bridges = Hashtbl.create 64 in
-      G.Wgraph.iter_edges g (fun e u v w ->
+      G.Gstate.iter_edges g (fun e u v w ->
           let su = owner.(u) and sv = owner.(v) in
           if su >= 0 && sv >= 0 && su <> sv then begin
             let key = if su < sv then (su, sv) else (sv, su) in
@@ -70,7 +70,7 @@ let solve g ~terminals =
       let expanded =
         List.concat_map
           (fun (_, _, _, e) ->
-            let u, v = G.Wgraph.endpoints g e in
+            let u, v = G.Gstate.endpoints g e in
             (e :: path_to_owner g parent_edge u) @ path_to_owner g parent_edge v)
           chosen
         |> List.sort_uniq compare
@@ -78,8 +78,8 @@ let solve g ~terminals =
       let sub_edges =
         List.map
           (fun e ->
-            let u, v = G.Wgraph.endpoints g e in
-            (u, v, G.Wgraph.weight g e, e))
+            let u, v = G.Gstate.endpoints g e in
+            (u, v, G.Gstate.weight g e, e))
           expanded
       in
       let chosen', cost' = G.Mst.kruskal ~nodes:ts ~edges:sub_edges in

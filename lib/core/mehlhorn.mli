@@ -10,11 +10,11 @@
     per net — the complexity the paper quotes for KMB's fast
     implementation. *)
 
-val solve : Fr_graph.Wgraph.t -> terminals:int list -> Fr_graph.Tree.t
+val solve : Fr_graph.Gstate.t -> terminals:int list -> Fr_graph.Tree.t
 (** @raise Routing_err.Unroutable when the terminals are disconnected. *)
 
-val cost : Fr_graph.Wgraph.t -> terminals:int list -> float
+val cost : Fr_graph.Gstate.t -> terminals:int list -> float
 
-val voronoi : Fr_graph.Wgraph.t -> terminals:int list -> int array * float array
+val voronoi : Fr_graph.Gstate.t -> terminals:int list -> int array * float array
 (** The underlying partition: for every node, its closest terminal (-1 if
     unreachable) and the distance to it (exposed for tests). *)

@@ -1,7 +1,7 @@
 module G = Fr_graph
 
 type instance = {
-  graph : G.Wgraph.t;
+  graph : G.Gstate.t;
   net : Net.t;
   reference_cost : float;
   description : string;
@@ -30,7 +30,7 @@ let pfa_graph ~k =
     (decoy i, sink (i + 1)) += (2. *. e)
   done;
   {
-    graph = g;
+    graph = G.Gstate.of_builder g;
     net = Net.make ~source:n0 ~sinks:(List.init k sink);
     reference_cost = trunk -. (2. *. e) +. (3. *. e *. float_of_int k);
     description =
@@ -84,7 +84,7 @@ let pfa_grid ~n =
   let sinks = List.init (n + 1) (fun i -> id i (n - i)) in
   let source = id 0 0 in
   {
-    graph = g;
+    graph = G.Gstate.of_builder g;
     net = Net.make ~source ~sinks;
     reference_cost = staircase_opt ~n;
     description =
@@ -123,7 +123,7 @@ let idom_graph ~levels =
   done;
   assert (!next_sink = sink_base + nsinks);
   {
-    graph = g;
+    graph = G.Gstate.of_builder g;
     net = Net.make ~source:n0 ~sinks:(List.init nsinks (fun i -> sink_base + i));
     reference_cost = 2. +. (float_of_int nsinks *. eps_tiny);
     description =

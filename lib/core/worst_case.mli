@@ -4,7 +4,7 @@
     best-known) arborescence so the figures' ratios can be regenerated. *)
 
 type instance = {
-  graph : Fr_graph.Wgraph.t;
+  graph : Fr_graph.Gstate.t;
   net : Net.t;
   reference_cost : float;  (** cost of the known good solution *)
   description : string;

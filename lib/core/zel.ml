@@ -41,7 +41,7 @@ let steiner_point_of_triple cache ~steiner_ok ~candidates a b c =
   in
   let best_v = ref (-1) and best_d = ref infinity in
   let consider v =
-    if G.Wgraph.node_enabled g v && steiner_ok v then begin
+    if G.Gstate.node_enabled g v && steiner_ok v then begin
       let d = G.Dijkstra.dist ra v +. G.Dijkstra.dist rb v +. G.Dijkstra.dist rc v in
       if d < !best_d then begin
         best_d := d;
@@ -51,7 +51,7 @@ let steiner_point_of_triple cache ~steiner_ok ~candidates a b c =
   in
   (match scan with
   | None ->
-      for v = 0 to G.Wgraph.num_nodes g - 1 do
+      for v = 0 to G.Gstate.num_nodes g - 1 do
         consider v
       done
   | Some vs -> List.iter consider vs);
@@ -62,7 +62,7 @@ let triple_info ?memo cache ~steiner_ok ~candidates a b c =
   match memo with
   | None -> steiner_point_of_triple cache ~steiner_ok ~candidates a b c
   | Some m -> (
-      refresh_memo m (G.Wgraph.version (G.Dist_cache.graph cache));
+      refresh_memo m (G.Gstate.version (G.Dist_cache.graph cache));
       match Hashtbl.find_opt m.table key with
       | Some info -> info
       | None ->

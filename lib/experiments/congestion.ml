@@ -10,7 +10,7 @@ let congested_grid ?(width = 20) ?(height = 20) rng ~k =
     let terminals = G.Random_graph.random_net rng g ~k:pins in
     let cache = G.Dist_cache.create g in
     let tree = C.Kmb.solve cache ~terminals in
-    List.iter (fun e -> G.Wgraph.add_weight g e 1.) tree.G.Tree.edges
+    List.iter (fun e -> G.Gstate.add_weight g e 1.) tree.G.Tree.edges
   done;
   grid
 

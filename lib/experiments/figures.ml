@@ -15,7 +15,7 @@ let fig3 ?(seed = 3) () =
   in
   let total_stretch = ref [] in
   for i = 1 to 8 do
-    let a = Rng.int rng (G.Wgraph.num_nodes g) and b = Rng.int rng (G.Wgraph.num_nodes g) in
+    let a = Rng.int rng (G.Gstate.num_nodes g) and b = Rng.int rng (G.Gstate.num_nodes g) in
     if a <> b then begin
       let rect = float_of_int (G.Grid.manhattan grid a b) in
       let d = G.Dijkstra.dist (G.Dijkstra.run g ~src:a) b in
@@ -35,7 +35,7 @@ let fig3 ?(seed = 3) () =
   Tab.add_note t
     (Printf.sprintf "Mean stretch %.2f; mean edge weight w=%.2f — distances no longer rectilinear."
        (Fr_util.Stats.mean !total_stretch)
-       (G.Wgraph.mean_edge_weight g));
+       (G.Gstate.mean_edge_weight g));
   Tab.to_string t
 
 (* Deterministic search for a 4-pin instance exhibiting the figure's
@@ -117,7 +117,7 @@ let fig6_instance () =
   (s2, c) += 1.;
   (s3, c) += 1.;
   (s3, d) += 1.;
-  (g, [ a; b; c; d ], [ s2; s3 ])
+  (G.Gstate.of_builder g, [ a; b; c; d ], [ s2; s3 ])
 
 let fig6 () =
   let g, terminals, hubs = fig6_instance () in
@@ -219,7 +219,7 @@ let fig13_instance () =
   (a, c) += 3.;
   (a, d) += 4.;
   (a, e) += 4.;
-  (g, C.Net.make ~source:a ~sinks:[ b; c; d; e ], [ m1; m2 ])
+  (G.Gstate.of_builder g, C.Net.make ~source:a ~sinks:[ b; c; d; e ], [ m1; m2 ])
 
 let fig13 () =
   let g, net, hubs = fig13_instance () in

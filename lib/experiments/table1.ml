@@ -41,7 +41,7 @@ let route_one rng ~k ~size =
     | Some (_, c, _) -> c
     | None -> assert false
   in
-  ( G.Wgraph.mean_edge_weight g,
+  ( G.Gstate.mean_edge_weight g,
     List.map
       (fun (name, cost, path) ->
         (name, Stats.percent_vs cost kmb_cost, Stats.percent_vs path opt_path))

@@ -48,42 +48,15 @@ type stats = {
   peak_occupancy : int;
   dijkstra_runs : int;
   settled_nodes : int;
+  mutations : int;
+  rollbacks : int;
+  journal_depth : int;
 }
 
 type failure = {
   failed_nets : string list;
   passes_tried : int;
 }
-
-(* ------------------------------------------------------------------ *)
-(* Graph state snapshot (weights + enables), restored between passes.  *)
-(* ------------------------------------------------------------------ *)
-
-type snapshot = {
-  weights : float array;
-  nodes_on : bool array;
-  edges_on : bool array;
-}
-
-let take_snapshot g =
-  {
-    weights = Array.init (G.Wgraph.num_edges g) (G.Wgraph.weight g);
-    nodes_on = Array.init (G.Wgraph.num_nodes g) (G.Wgraph.node_enabled g);
-    edges_on = Array.init (G.Wgraph.num_edges g) (G.Wgraph.edge_enabled g);
-  }
-
-let restore g snap =
-  Array.iteri
-    (fun e w ->
-      if G.Wgraph.weight g e <> w then G.Wgraph.set_weight g e w;
-      if G.Wgraph.edge_enabled g e <> snap.edges_on.(e) then
-        if snap.edges_on.(e) then G.Wgraph.enable_edge g e else G.Wgraph.disable_edge g e)
-    snap.weights;
-  Array.iteri
-    (fun v on ->
-      if G.Wgraph.node_enabled g v <> on then
-        if on then G.Wgraph.enable_node g v else G.Wgraph.disable_node g v)
-    snap.nodes_on
 
 (* ------------------------------------------------------------------ *)
 (* Net ordering                                                        *)
@@ -139,7 +112,7 @@ type cache_key =
 
 type cache_pool = {
   caches : (cache_key, G.Dist_cache.t) Hashtbl.t;
-  pool_graph : G.Wgraph.t;
+  pool_graph : G.Gstate.t;
   targeted : bool;
 }
 
@@ -178,7 +151,7 @@ let candidates_for rrg cfg pred =
   let acc = ref [] in
   let count = ref 0 in
   for v = Rrg.num_wires rrg - 1 downto 0 do
-    if G.Wgraph.node_enabled rrg.Rrg.graph v && pred v then begin
+    if G.Gstate.node_enabled rrg.Rrg.graph v && pred v then begin
       acc := v :: !acc;
       incr count
     end
@@ -206,28 +179,25 @@ let solve_two_pin pool rrg cfg net ~restricted =
   let cnet = Netlist.rrg_net rrg net in
   let src = cnet.C.Net.source in
   let cache = pool_cache pool rrg cfg net ~restricted in
-  let committed = ref [] in
-  let undo () = List.iter (G.Wgraph.enable_node g) !committed in
+  (* The wires claimed per connection are released wholesale by rolling the
+     journal back to this mark — no per-node bookkeeping. *)
+  let cp = G.Gstate.checkpoint g in
   let route_sink edges sink =
     let r = G.Dist_cache.result_for cache ~src ~targets:[ sink ] in
     if not (G.Dijkstra.reachable r sink) then begin
-      undo ();
+      G.Gstate.rollback g cp;
       C.Routing_err.fail "two-pin"
     end;
     let path = G.Dijkstra.path_edges r sink in
     (* Claim this connection's wires so the next connection cannot reuse
        them — the decomposition's inefficiency. *)
     List.iter
-      (fun v ->
-        if Rrg.is_wire rrg v then begin
-          G.Wgraph.disable_node g v;
-          committed := v :: !committed
-        end)
+      (fun v -> if Rrg.is_wire rrg v then G.Gstate.disable_node g v)
       (G.Dijkstra.path_nodes r sink);
     path @ edges
   in
   let edges = List.fold_left route_sink [] cnet.C.Net.sinks in
-  undo ();
+  G.Gstate.rollback g cp;
   G.Tree.of_edges edges
 
 let solve_net pool cfg rrg net ~restricted =
@@ -248,10 +218,10 @@ let commit cfg rrg net tree =
     List.filter_map (fun v -> Rrg.segment_of_node rrg v) used_nodes |> List.sort_uniq compare
   in
   (* Disable consumed wires and the net's own pins. *)
-  List.iter (fun v -> if Rrg.is_wire rrg v then G.Wgraph.disable_node g v) used_nodes;
+  List.iter (fun v -> if Rrg.is_wire rrg v then G.Gstate.disable_node g v) used_nodes;
   List.iter
     (fun p ->
-      G.Wgraph.disable_node g (Rrg.pin rrg ~row:p.Netlist.row ~col:p.Netlist.col ~side:p.Netlist.side ~slot:p.Netlist.slot))
+      G.Gstate.disable_node g (Rrg.pin rrg ~row:p.Netlist.row ~col:p.Netlist.col ~side:p.Netlist.side ~slot:p.Netlist.slot))
     (Netlist.net_pins net);
   (* Congestion: edges incident to the remaining free wires of each touched
      segment become more expensive, proportional to the new occupancy. *)
@@ -260,9 +230,9 @@ let commit cfg rrg net tree =
     (fun seg ->
       List.iter
         (fun wire ->
-          if G.Wgraph.node_enabled g wire then begin
-            let edges = G.Wgraph.fold_adj g wire (fun acc e _ _ -> e :: acc) [] in
-            List.iter (fun e -> G.Wgraph.add_weight g e inc) edges
+          if G.Gstate.node_enabled g wire then begin
+            let edges = G.Gstate.fold_adj g wire (fun acc e _ _ -> e :: acc) [] in
+            List.iter (fun e -> G.Gstate.add_weight g e inc) edges
           end)
         (Rrg.wires_of_segment rrg seg))
     touched_segments
@@ -278,7 +248,7 @@ let max_path_of_tree ~weight g tree ~net_src ~sinks =
   in
   List.iter
     (fun e ->
-      let u, v = G.Wgraph.endpoints g e in
+      let u, v = G.Gstate.endpoints g e in
       add u (v, weight e);
       add v (u, weight e))
     tree.G.Tree.edges;
@@ -301,14 +271,14 @@ let max_path_of_tree ~weight g tree ~net_src ~sinks =
           invalid_arg (Printf.sprintf "Router.max_path_of_tree: sink %d not spanned by tree" s))
     0. sinks
 
-let base_max_path snap g tree ~net_src ~sinks =
-  max_path_of_tree ~weight:(fun e -> snap.weights.(e)) g tree ~net_src ~sinks
+let base_max_path base_w g tree ~net_src ~sinks =
+  max_path_of_tree ~weight:(Array.get base_w) g tree ~net_src ~sinks
 
 (* ------------------------------------------------------------------ *)
 (* Passes                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let route_one_pass pool cfg rrg order snap =
+let route_one_pass pool cfg rrg order base_w =
   let g = rrg.Rrg.graph in
   let routed = ref [] and failed = ref [] in
   List.iter
@@ -323,7 +293,7 @@ let route_one_pass pool cfg rrg order snap =
       | Some tree ->
           let cnet = Netlist.rrg_net rrg net in
           let max_path =
-            base_max_path snap g tree ~net_src:cnet.C.Net.source ~sinks:cnet.C.Net.sinks
+            base_max_path base_w g tree ~net_src:cnet.C.Net.source ~sinks:cnet.C.Net.sinks
           in
           let wires_used = Rrg.wirelength rrg tree in
           commit cfg rrg net tree;
@@ -344,16 +314,25 @@ let route ?(config = default_config) rrg circuit =
   | Error msg -> invalid_arg ("Router.route: " ^ msg));
   if circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
   then invalid_arg "Router.route: circuit does not fit architecture";
-  let snap = take_snapshot rrg.Rrg.graph in
-  let pool = make_pool config rrg.Rrg.graph in
+  let g = rrg.Rrg.graph in
+  (* Entry weights, for measuring committed trees in pre-congestion units. *)
+  let base_w = Array.init (G.Gstate.num_edges g) (G.Gstate.weight g) in
+  (* Each pass rips up the previous one by rolling the journal back to this
+     mark — O(entries the pass wrote), not O(V+E). *)
+  let cp = G.Gstate.checkpoint g in
+  let mut0 = G.Gstate.mutations g and rb0 = G.Gstate.rollbacks g in
+  let pool = make_pool config g in
   (* Early cutoff: if the number of failing nets has not improved for
      [stall_limit] consecutive passes, the width is hopeless — declaring
      failure early saves most of the downward-infeasible probes. *)
   let stall_limit = 6 in
   let rec passes order n ~best ~stalled =
-    restore rrg.Rrg.graph snap;
-    let routed, failed = route_one_pass pool config rrg order snap in
-    if failed = [] then
+    G.Gstate.rollback g cp;
+    let routed, failed = route_one_pass pool config rrg order base_w in
+    if failed = [] then begin
+      (* Keep the final pass's state (useful for rendering): accept its
+         mutations instead of undoing them. *)
+      G.Gstate.commit g cp;
       Ok
         {
           passes = n;
@@ -363,12 +342,18 @@ let route ?(config = default_config) rrg circuit =
           peak_occupancy = peak_occupancy rrg;
           dijkstra_runs = pool_runs pool;
           settled_nodes = pool_settled pool;
+          mutations = G.Gstate.mutations g - mut0;
+          rollbacks = G.Gstate.rollbacks g - rb0;
+          journal_depth = G.Gstate.peak_journal_depth g;
         }
+    end
     else begin
       let count = List.length failed in
       let best, stalled = if count < best then (count, 0) else (best, stalled + 1) in
-      if n >= config.max_passes || stalled >= stall_limit then
+      if n >= config.max_passes || stalled >= stall_limit then begin
+        G.Gstate.commit g cp;
         Error { failed_nets = failed; passes_tried = n }
+      end
       else passes (move_to_front failed order) (n + 1) ~best ~stalled
     end
   in
@@ -380,23 +365,28 @@ let min_channel_width ?(config = default_config) ~arch_of_width ~circuit ~start 
     let rrg = Rrg.build (arch_of_width w) in
     match route ~config rrg circuit with Ok stats -> Some stats | Error _ -> None
   in
-  let rec descend w best =
-    if w < 1 then best
-    else
-      match try_width w with
-      | Some stats -> descend (w - 1) (Some (w, stats))
-      | None -> best
+  (* Feasibility is monotone in the channel width, so the answer is found by
+     bisecting between the last failing and the first succeeding width —
+     O(log) routes instead of one per width.  Infeasible probes stay cheap
+     thanks to the early-stall cutoff inside [route].  Invariant: [lo]
+     failed (0 = conceptual always-failing floor), [hi] succeeded. *)
+  let rec bisect lo hi best =
+    if hi - lo <= 1 then Some (hi, best)
+    else begin
+      let mid = (lo + hi) / 2 in
+      match try_width mid with
+      | Some stats -> bisect lo mid stats
+      | None -> bisect mid hi best
+    end
   in
-  let rec ascend w =
-    if w > max_width then None
-    else
-      match try_width w with
-      | Some stats -> Some (w, stats)
-      | None -> ascend (w + 1)
+  (* When [start] itself fails, bracket a succeeding width by galloping
+     upward with doubling steps, then bisect inside the last gap. *)
+  let rec gallop_up lo step =
+    let w = min max_width (lo + step) in
+    match try_width w with
+    | Some stats -> bisect lo w stats
+    | None -> if w >= max_width then None else gallop_up w (2 * step)
   in
   match try_width start with
-  | Some stats -> (
-      match descend (start - 1) (Some (start, stats)) with
-      | Some _ as r -> r
-      | None -> Some (start, stats))
-  | None -> ascend (start + 1)
+  | Some stats -> bisect 0 start stats
+  | None -> if start >= max_width then None else gallop_up start 1

@@ -66,6 +66,15 @@ type stats = {
   settled_nodes : int;
       (** total nodes settled by those searches — the work metric targeted
           mode reduces *)
+  mutations : int;
+      (** effective graph mutations (journal entries written) across all
+          passes *)
+  rollbacks : int;
+      (** journal rollbacks performed (one per rip-up pass, plus one per
+          two-pin connection batch) *)
+  journal_depth : int;
+      (** peak undo-journal depth — the per-pass restore cost, to compare
+          against the O(V+E) full-graph snapshot scans it replaced *)
 }
 
 type failure = {
@@ -74,8 +83,8 @@ type failure = {
 }
 
 val max_path_of_tree :
-  weight:(Fr_graph.Wgraph.edge -> float) ->
-  Fr_graph.Wgraph.t ->
+  weight:(Fr_graph.Gstate.edge -> float) ->
+  Fr_graph.Gstate.t ->
   Fr_graph.Tree.t ->
   net_src:int ->
   sinks:int list ->
@@ -88,8 +97,9 @@ val max_path_of_tree :
 
 val route : ?config:config -> Rrg.t -> Netlist.circuit -> (stats, failure) result
 (** Routes the whole circuit.  The RRG is left in the final pass's state
-    (useful for rendering); weights and enable flags are snapshotted at
-    entry and restored between passes.
+    (useful for rendering); a journal checkpoint is taken at entry and each
+    rip-up pass rolls back to it in time proportional to the entries the
+    previous pass wrote ({!Fr_graph.Gstate.rollback}), not O(V+E).
     @raise Invalid_argument when the circuit does not fit the RRG or does
     not validate. *)
 
@@ -101,7 +111,8 @@ val min_channel_width :
   ?max_width:int ->
   unit ->
   (int * stats) option
-(** Smallest channel width at which the circuit routes completely: probes
-    downward from [start] while feasible, or upward until [max_width]
-    (default [start + 15]) when [start] itself fails.  [None] if even
-    [max_width] fails. *)
+(** Smallest channel width at which the circuit routes completely,
+    assuming feasibility is monotone in the width: bisects between the last
+    failing and first succeeding width, galloping upward from [start]
+    until [max_width] (default [start + 15]) when [start] itself fails.
+    [None] if even [max_width] fails. *)

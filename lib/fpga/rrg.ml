@@ -27,7 +27,7 @@ type kind =
 
 type t = {
   arch : Arch.t;
-  graph : G.Wgraph.t;
+  graph : G.Gstate.t;
 }
 
 (* Node layout: horizontal wires, then vertical wires, then pins. *)
@@ -128,7 +128,7 @@ let segments t =
 
 let segment_occupancy t seg =
   List.fold_left
-    (fun n v -> if G.Wgraph.node_enabled t.graph v then n else n + 1)
+    (fun n v -> if G.Gstate.node_enabled t.graph v then n else n + 1)
     0 (wires_of_segment t seg)
 
 let wirelength t tree =
@@ -143,7 +143,14 @@ let build ?(jog_penalty = 0.) arch =
   if jog_penalty < 0. then invalid_arg "Rrg.build: negative jog penalty";
   let r, c, w, s = dims arch in
   let n = n_hwires arch + n_vwires arch + n_pins arch in
-  let g = G.Wgraph.create n in
+  let per_side_cap = max 1 ((arch.Arch.fs + 2) / 3) in
+  (* Upper bound on the edge count: every intersection joins at most 4
+     sides (6 pairs) with [w * per_side] edges each, and every pin fans out
+     to [fc] tracks. *)
+  let edge_capacity =
+    ((r + 1) * (c + 1) * 6 * w * per_side_cap) + (r * c * 4 * s * arch.Arch.fc)
+  in
+  let g = G.Wgraph.create ~edge_capacity n in
   (* [`H] / [`V] tag the side orientation so turning connections can carry
      the jog penalty. *)
   let wire_wire ou u ov v =
@@ -206,4 +213,4 @@ let build ?(jog_penalty = 0.) arch =
         all_sides
     done
   done;
-  { arch; graph = g }
+  { arch; graph = G.Gstate.of_builder g }

@@ -37,7 +37,7 @@ type kind =
 
 type t = private {
   arch : Arch.t;
-  graph : Fr_graph.Wgraph.t;
+  graph : Fr_graph.Gstate.t;
 }
 
 val build : ?jog_penalty:float -> Arch.t -> t

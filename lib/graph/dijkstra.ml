@@ -1,11 +1,13 @@
+module Bitset = Fr_util.Bitset
+
 (* Resumption state: everything needed to settle more nodes later.  The
    dist/parent arrays of the owning [result] are refined in place, so a
    partial run transparently *extends* into a full one. *)
 type state = {
-  g : Wgraph.t;
-  ver : int;  (* Wgraph.version at creation; resuming after a mutation is unsound *)
+  g : Gstate.t;
+  ver : int;  (* Gstate.version at creation; resuming after a mutation is unsound *)
   allowed : int -> bool;
-  edge_allowed : Wgraph.edge -> bool;
+  edge_allowed : Gstate.edge -> bool;
   heap : Heap.t;
   settled : bool array;
   mutable settled_count : int;
@@ -27,36 +29,59 @@ let is_settled r v = r.state.settled.(v)
 let complete r = r.state.exhausted
 
 (* Settle nodes in distance order until [stop u] holds for a just-settled
-   node [u], or the heap runs dry. *)
+   node [u], or the heap runs dry.  The inner loop walks the CSR arrays of
+   the frozen topology directly — no closure per edge, no bounds checks —
+   which is the point of the Topology/Gstate split. *)
 let drain_until r stop =
   let st = r.state in
+  let topo = Gstate.topology st.g in
+  let off = topo.Topology.off and pack = topo.Topology.pack in
+  let wts = Gstate.unsafe_weights st.g in
+  let n_on = Gstate.unsafe_node_bits st.g and e_on = Gstate.unsafe_edge_bits st.g in
+  let settled = st.settled in
+  let dist = r.dist and parent_edge = r.parent_edge and parent_node = r.parent_node in
   let rec loop () =
     match Heap.pop_min st.heap with
     | None -> st.exhausted <- true
     | Some (d, u) ->
-        if st.settled.(u) then loop ()
+        if Array.unsafe_get settled u then loop ()
         else begin
-          st.settled.(u) <- true;
+          Array.unsafe_set settled u true;
           st.settled_count <- st.settled_count + 1;
           (* [d] can be stale only if u was reachable more cheaply, in which
              case settled.(u) was already set.  Here d = dist.(u). *)
-          Wgraph.iter_adj st.g u (fun e v w ->
-              if (not st.settled.(v)) && st.allowed v && st.edge_allowed e then begin
-                let nd = d +. w in
-                if nd < r.dist.(v) then begin
-                  r.dist.(v) <- nd;
-                  r.parent_edge.(v) <- e;
-                  r.parent_node.(v) <- u;
+          if Bitset.get n_on u then begin
+            let k = ref (Array.unsafe_get off u) in
+            let hi = Array.unsafe_get off (u + 1) in
+            while !k < hi do
+              let v = Array.unsafe_get pack !k in
+              let e = Array.unsafe_get pack (!k + 1) in
+              if
+                Bitset.get e_on e
+                && Bitset.get n_on v
+                && (not (Array.unsafe_get settled v))
+                && st.allowed v && st.edge_allowed e
+              then begin
+                let nd = d +. Array.unsafe_get wts e in
+                if nd < Array.unsafe_get dist v then begin
+                  Array.unsafe_set dist v nd;
+                  Array.unsafe_set parent_edge v e;
+                  Array.unsafe_set parent_node v u;
                   Heap.push st.heap nd v
                 end
-              end);
+              end;
+              k := !k + 2
+            done
+          end;
           if not (stop u) then loop ()
         end
   in
   if not st.exhausted then loop ()
 
+(* [what] names the public entry point that needed to resume, so a
+   staleness error points at the call that actually tripped it. *)
 let check_resumable st what =
-  if Wgraph.version st.g <> st.ver then
+  if Gstate.version st.g <> st.ver then
     invalid_arg ("Dijkstra." ^ what ^ ": graph mutated since the run started")
 
 let extend_all r =
@@ -65,33 +90,35 @@ let extend_all r =
     drain_until r (fun _ -> false)
   end
 
-let extend r ~targets =
+let extend_from r ~what ~targets =
   let st = r.state in
   if not st.exhausted then begin
     let n = Array.length r.dist in
     let pending = Hashtbl.create 8 in
     List.iter
       (fun v ->
-        if v < 0 || v >= n then invalid_arg "Dijkstra.extend: target out of range";
+        if v < 0 || v >= n then invalid_arg ("Dijkstra." ^ what ^ ": target out of range");
         if not st.settled.(v) then Hashtbl.replace pending v ())
       targets;
     if Hashtbl.length pending > 0 then begin
-      check_resumable st "extend";
+      check_resumable st what;
       drain_until r (fun u ->
           Hashtbl.remove pending u;
           Hashtbl.length pending = 0)
     end
   end
 
+let extend r ~targets = extend_from r ~what:"extend" ~targets
+
 let run ?restrict ?edge_ok ?targets g ~src =
-  let n = Wgraph.num_nodes g in
+  let n = Gstate.num_nodes g in
   if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
   let allowed = match restrict with None -> fun _ -> true | Some p -> fun u -> u = src || p u in
   let edge_allowed = match edge_ok with None -> fun _ -> true | Some p -> p in
   let state =
     {
       g;
-      ver = Wgraph.version g;
+      ver = Gstate.version g;
       allowed;
       edge_allowed;
       heap = Heap.create ~capacity:64 ();
@@ -111,33 +138,37 @@ let run ?restrict ?edge_ok ?targets g ~src =
   in
   r.dist.(src) <- 0.;
   Heap.push state.heap 0. src;
-  (match targets with None -> extend_all r | Some ts -> extend r ~targets:ts);
+  (match targets with
+  | None -> extend_all r
+  | Some ts -> extend_from r ~what:"run" ~targets:ts);
   r
 
 (* Accessors settle on demand, so a targeted result answers queries beyond
    its original targets exactly like a full run would. *)
-let ensure r v =
+let ensure r ~what v =
   let st = r.state in
   if not (st.exhausted || st.settled.(v)) then begin
-    check_resumable st "extend";
+    check_resumable st what;
     drain_until r (fun u -> u = v)
   end
 
 let dist r v =
-  ensure r v;
+  ensure r ~what:"dist" v;
   r.dist.(v)
 
 let reachable r v =
-  ensure r v;
+  ensure r ~what:"reachable" v;
   r.dist.(v) < infinity
 
 let path_edges r v =
-  if not (reachable r v) then invalid_arg "Dijkstra.path_edges: unreachable node";
+  ensure r ~what:"path_edges" v;
+  if r.dist.(v) = infinity then invalid_arg "Dijkstra.path_edges: unreachable node";
   let rec up v acc = if v = r.src then acc else up r.parent_node.(v) (r.parent_edge.(v) :: acc) in
   up v []
 
 let path_nodes r v =
-  if not (reachable r v) then invalid_arg "Dijkstra.path_nodes: unreachable node";
+  ensure r ~what:"path_nodes" v;
+  if r.dist.(v) = infinity then invalid_arg "Dijkstra.path_nodes: unreachable node";
   let rec up v acc = if v = r.src then v :: acc else up r.parent_node.(v) (v :: acc) in
   up v []
 

@@ -28,9 +28,9 @@ type result = {
 
 val run :
   ?restrict:(int -> bool) ->
-  ?edge_ok:(Wgraph.edge -> bool) ->
+  ?edge_ok:(Gstate.edge -> bool) ->
   ?targets:int list ->
-  Wgraph.t ->
+  Gstate.t ->
   src:int ->
   result
 (** Single-source shortest paths over enabled nodes/edges.  [restrict]
@@ -44,7 +44,10 @@ val run :
 val extend : result -> targets:int list -> unit
 (** Resume a partial run until every listed node is settled (or the search
     is exhausted).  No-op for already-settled targets.
-    @raise Invalid_argument if the graph was mutated since [run]. *)
+    @raise Invalid_argument if the graph was mutated since [run].  Every
+    resuming entry point ([extend], [extend_all], [dist], [reachable],
+    [path_edges], [path_nodes]) raises this error under its own name, so a
+    cache-staleness bug is attributable to the call that tripped it. *)
 
 val extend_all : result -> unit
 (** Resume until the search is exhausted (equivalent to a full run). *)
@@ -64,13 +67,13 @@ val dist : result -> int -> float
 
 val reachable : result -> int -> bool
 
-val path_edges : result -> int -> Wgraph.edge list
+val path_edges : result -> int -> Gstate.edge list
 (** Edge ids of the tree path from the source to the given node, in
     source-to-node order.  @raise Invalid_argument if unreachable. *)
 
 val path_nodes : result -> int -> int list
 (** Node ids along the same path, starting with the source. *)
 
-val spt_edges : result -> Wgraph.edge list
+val spt_edges : result -> Gstate.edge list
 (** All parent edges of the shortest-paths tree (one per reached non-source
     node).  Forces {!extend_all} so the tree is complete. *)

@@ -4,7 +4,7 @@ type entry = {
 }
 
 type t = {
-  g : Wgraph.t;
+  g : Gstate.t;
   restrict : (int -> bool) option;
   targeted : bool;
   capacity : int;
@@ -29,7 +29,7 @@ let create ?restrict ?(targeted = true) ?(capacity = default_capacity) g =
     targeted;
     capacity;
     table = Hashtbl.create 64;
-    stamp = Wgraph.version g;
+    stamp = Gstate.version g;
     clock = 0;
     runs = 0;
     hits = 0;
@@ -46,9 +46,9 @@ let drop_all t =
 
 let invalidate t =
   drop_all t;
-  t.stamp <- Wgraph.version t.g
+  t.stamp <- Gstate.version t.g
 
-let refresh t = if Wgraph.version t.g <> t.stamp then invalidate t
+let refresh t = if Gstate.version t.g <> t.stamp then invalidate t
 
 let touch t e =
   t.clock <- t.clock + 1;

@@ -14,7 +14,7 @@
       settled and store the {e partial} result; a later query that needs a
       farther node transparently resumes the same search ({!Dijkstra.extend}).
     - {b Versioned invalidation.}  Every entry is checked against
-      {!Wgraph.version}; any weight or enable/disable mutation of the host
+      {!Gstate.version}; any weight or enable/disable mutation of the host
       graph drops the whole table before the next query (see {!invalidate}
       for the explicit form).
     - {b LRU capacity bound.}  At most [capacity] per-source entries are
@@ -25,7 +25,7 @@
 
 type t
 
-val create : ?restrict:(int -> bool) -> ?targeted:bool -> ?capacity:int -> Wgraph.t -> t
+val create : ?restrict:(int -> bool) -> ?targeted:bool -> ?capacity:int -> Gstate.t -> t
 (** [restrict] applies to every memoized Dijkstra run (candidate-pruning on
     big routing graphs); callers must ensure all nodes they query satisfy
     it.  [targeted] (default [true]) enables target-bounded partial runs;
@@ -33,7 +33,7 @@ val create : ?restrict:(int -> bool) -> ?targeted:bool -> ?capacity:int -> Wgrap
     behavior, kept for A/B benchmarking).  [capacity] (default 1024) bounds
     the number of cached sources; the least recently used is evicted. *)
 
-val graph : t -> Wgraph.t
+val graph : t -> Gstate.t
 
 val result : t -> src:int -> Dijkstra.result
 (** The memoized single-source result, {e complete} (every reachable node
@@ -48,7 +48,7 @@ val result_for : t -> src:int -> targets:int list -> Dijkstra.result
 
 val dist : t -> src:int -> dst:int -> float
 
-val path_edges : t -> src:int -> dst:int -> Wgraph.edge list
+val path_edges : t -> src:int -> dst:int -> Gstate.edge list
 
 val cached : t -> int -> bool
 (** Whether a memoized result for this source is currently valid. *)
@@ -59,7 +59,7 @@ val dist_sym : t -> int -> int -> float
     what makes the Δ-scans of IGMST/IDOM run without any per-candidate
     Dijkstra. *)
 
-val path_edges_sym : t -> int -> int -> Wgraph.edge list
+val path_edges_sym : t -> int -> int -> Gstate.edge list
 (** Shortest-path edge set between two nodes, served like {!dist_sym}
     (edge sets are orientation-independent). *)
 

@@ -1,5 +1,5 @@
 type t = {
-  graph : Wgraph.t;
+  graph : Gstate.t;
   width : int;
   height : int;
 }
@@ -10,15 +10,15 @@ type t = {
 
 let create ?(weight = 1.) ~width ~height () =
   if width < 1 || height < 1 then invalid_arg "Grid.create: empty grid";
-  let g = Wgraph.create (width * height) in
+  let b = Wgraph.create ~edge_capacity:(2 * width * height) (width * height) in
   let id x y = (y * width) + x in
   for y = 0 to height - 1 do
     for x = 0 to width - 1 do
-      if x + 1 < width then ignore (Wgraph.add_edge g (id x y) (id (x + 1) y) weight);
-      if y + 1 < height then ignore (Wgraph.add_edge g (id x y) (id x (y + 1)) weight)
+      if x + 1 < width then ignore (Wgraph.add_edge b (id x y) (id (x + 1) y) weight);
+      if y + 1 < height then ignore (Wgraph.add_edge b (id x y) (id x (y + 1)) weight)
     done
   done;
-  { graph = g; width; height }
+  { graph = Gstate.of_builder b; width; height }
 
 let node t ~x ~y =
   if x < 0 || x >= t.width || y < 0 || y >= t.height then invalid_arg "Grid.node: out of range";
@@ -31,7 +31,7 @@ let manhattan t a b =
   abs (xa - xb) + abs (ya - yb)
 
 let find_explicit t u v =
-  match Wgraph.find_edge t.graph u v with
+  match Gstate.find_edge t.graph u v with
   | Some e -> e
   | None -> invalid_arg "Grid: no such edge"
 

@@ -5,7 +5,7 @@
     routed, shortest-path distances equal rectilinear distance (Fig 3a). *)
 
 type t = {
-  graph : Wgraph.t;
+  graph : Gstate.t;
   width : int;  (** number of columns (x in [0..width-1]) *)
   height : int;  (** number of rows (y in [0..height-1]) *)
 }
@@ -21,8 +21,8 @@ val coords : t -> int -> int * int
 val manhattan : t -> int -> int -> int
 (** Rectilinear distance between two grid nodes (in grid steps). *)
 
-val horizontal_edge : t -> x:int -> y:int -> Wgraph.edge
+val horizontal_edge : t -> x:int -> y:int -> Gstate.edge
 (** Edge from (x,y) to (x+1,y).  @raise Invalid_argument when absent. *)
 
-val vertical_edge : t -> x:int -> y:int -> Wgraph.edge
+val vertical_edge : t -> x:int -> y:int -> Gstate.edge
 (** Edge from (x,y) to (x,y+1).  @raise Invalid_argument when absent. *)

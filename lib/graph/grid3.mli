@@ -8,7 +8,7 @@
     differently). *)
 
 type t = {
-  graph : Wgraph.t;
+  graph : Gstate.t;
   width : int;  (** x extent *)
   height : int;  (** y extent *)
   depth : int;  (** z extent (layers) *)

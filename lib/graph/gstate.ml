@@ -1,0 +1,223 @@
+module Bitset = Fr_util.Bitset
+
+type edge = Topology.edge
+
+(* One journal entry per *effective* mutation, recording the value to
+   restore on rollback. *)
+type undo =
+  | Weight of int * float
+  | Node_on of int * bool
+  | Edge_on of int * bool
+
+type t = {
+  topo : Topology.t;
+  w : float array;
+  n_on : Bitset.t;
+  e_on : Bitset.t;
+  mutable ver : int;
+  mutable journal : undo array;
+  mutable jlen : int;
+  mutable mutations : int;
+  mutable rollbacks : int;
+  mutable undone : int;
+  mutable peak_depth : int;
+}
+
+type checkpoint = int
+
+let of_topology topo =
+  {
+    topo;
+    w = Array.copy topo.Topology.base;
+    n_on = Bitset.create (Topology.num_nodes topo);
+    e_on = Bitset.create (Topology.num_edges topo);
+    ver = 0;
+    journal = [||];
+    jlen = 0;
+    mutations = 0;
+    rollbacks = 0;
+    undone = 0;
+    peak_depth = 0;
+  }
+
+let of_builder b = of_topology (Wgraph.freeze b)
+
+let topology g = g.topo
+
+let num_nodes g = Topology.num_nodes g.topo
+
+let num_edges g = Topology.num_edges g.topo
+
+let version g = g.ver
+
+(* ------------------------------------------------------------------ *)
+(* Journaled mutation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let jpush g entry =
+  if g.jlen = Array.length g.journal then begin
+    let cap = Array.length g.journal in
+    let next = Array.make (if cap = 0 then 64 else 2 * cap) entry in
+    Array.blit g.journal 0 next 0 g.jlen;
+    g.journal <- next
+  end;
+  g.journal.(g.jlen) <- entry;
+  g.jlen <- g.jlen + 1;
+  if g.jlen > g.peak_depth then g.peak_depth <- g.jlen
+
+let record g entry =
+  jpush g entry;
+  g.ver <- g.ver + 1;
+  g.mutations <- g.mutations + 1
+
+let weight g e = g.w.(e)
+
+let set_weight g e w =
+  if w < 0. then invalid_arg "Gstate.set_weight: negative weight";
+  let old = g.w.(e) in
+  if old <> w then begin
+    record g (Weight (e, old));
+    g.w.(e) <- w
+  end
+
+let add_weight g e dw = set_weight g e (g.w.(e) +. dw)
+
+let node_enabled g u = Bitset.get g.n_on u
+
+let set_node g u b =
+  if u < 0 || u >= num_nodes g then invalid_arg "Gstate: node out of range";
+  if Bitset.get g.n_on u <> b then begin
+    record g (Node_on (u, not b));
+    Bitset.set g.n_on u b
+  end
+
+let disable_node g u = set_node g u false
+
+let enable_node g u = set_node g u true
+
+let edge_enabled g e = Bitset.get g.e_on e
+
+let set_edge g e b =
+  if e < 0 || e >= num_edges g then invalid_arg "Gstate: edge out of range";
+  if Bitset.get g.e_on e <> b then begin
+    record g (Edge_on (e, not b));
+    Bitset.set g.e_on e b
+  end
+
+let disable_edge g e = set_edge g e false
+
+let enable_edge g e = set_edge g e true
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / rollback                                               *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint g = g.jlen
+
+let journal_depth g = g.jlen
+
+let rollback g cp =
+  if cp < 0 || cp > g.jlen then invalid_arg "Gstate.rollback: invalid checkpoint";
+  let changed = g.jlen > cp in
+  while g.jlen > cp do
+    g.jlen <- g.jlen - 1;
+    (match g.journal.(g.jlen) with
+    | Weight (e, w) -> g.w.(e) <- w
+    | Node_on (u, b) -> Bitset.set g.n_on u b
+    | Edge_on (e, b) -> Bitset.set g.e_on e b);
+    g.undone <- g.undone + 1
+  done;
+  g.rollbacks <- g.rollbacks + 1;
+  if changed then g.ver <- g.ver + 1
+
+let commit g cp =
+  if cp < 0 || cp > g.jlen then invalid_arg "Gstate.commit: invalid checkpoint";
+  g.jlen <- cp
+
+let mutations g = g.mutations
+
+let rollbacks g = g.rollbacks
+
+let rollback_entries g = g.undone
+
+let peak_journal_depth g = g.peak_depth
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let endpoints g e = Topology.endpoints g.topo e
+
+let other_end g e u =
+  let a, b = Topology.endpoints g.topo e in
+  if u = a then b
+  else if u = b then a
+  else invalid_arg "Gstate.other_end: node not an endpoint"
+
+let iter_adj g u f =
+  if Bitset.get g.n_on u then begin
+    let off = g.topo.Topology.off and pack = g.topo.Topology.pack in
+    let k = ref off.(u) in
+    let hi = off.(u + 1) in
+    while !k < hi do
+      let v = pack.(!k) and e = pack.(!k + 1) in
+      if Bitset.get g.e_on e && Bitset.get g.n_on v then f e v g.w.(e);
+      k := !k + 2
+    done
+  end
+
+let fold_adj g u f acc =
+  let acc = ref acc in
+  iter_adj g u (fun e v w -> acc := f !acc e v w);
+  !acc
+
+let degree g u = fold_adj g u (fun d _ _ _ -> d + 1) 0
+
+let find_edge g u v =
+  fold_adj g u
+    (fun best e v' w ->
+      if v' <> v then best
+      else
+        match best with
+        | Some (_, bw) when bw <= w -> best
+        | _ -> Some (e, w))
+    None
+  |> Option.map fst
+
+let iter_edges g f =
+  for e = 0 to num_edges g - 1 do
+    if Bitset.get g.e_on e then begin
+      let u, v = Topology.endpoints g.topo e in
+      if Bitset.get g.n_on u && Bitset.get g.n_on v then f e u v g.w.(e)
+    end
+  done
+
+let mean_edge_weight g =
+  let total = ref 0. and count = ref 0 in
+  iter_edges g (fun _ _ _ w ->
+      total := !total +. w;
+      incr count);
+  if !count = 0 then 0. else !total /. float_of_int !count
+
+let copy g =
+  {
+    topo = g.topo;
+    w = Array.copy g.w;
+    n_on = Bitset.copy g.n_on;
+    e_on = Bitset.copy g.e_on;
+    ver = 0;
+    journal = [||];
+    jlen = 0;
+    mutations = 0;
+    rollbacks = 0;
+    undone = 0;
+    peak_depth = 0;
+  }
+
+(* Hot-loop escape hatches: Dijkstra reads these arrays directly. *)
+
+let unsafe_weights g = g.w
+
+let unsafe_node_bits g = g.n_on
+
+let unsafe_edge_bits g = g.e_on

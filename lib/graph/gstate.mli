@@ -1,0 +1,148 @@
+(** Mutable routing state over a frozen {!Topology}.
+
+    This is the routing substrate of the whole system (paper §2): the
+    topology holds nodes, endpoints and adjacency; a [Gstate.t] overlays it
+    with everything a routing pass mutates — current edge weights
+    (wirelength plus congestion) and node/edge enable flags (the router
+    removes the resources consumed by each routed net so that subsequent
+    nets stay electrically disjoint).
+
+    Every effective mutation bumps a {!version} counter so shortest-path
+    caches ({!Dist_cache}) can detect staleness, and appends an inverse
+    entry to an {b undo journal}.  {!checkpoint} marks a journal position;
+    {!rollback} restores the state at a mark in time proportional to the
+    number of entries written since it — the router's per-pass rip-up no
+    longer scans the whole graph.  Mutations that change nothing (setting a
+    weight to its current value, disabling a disabled node) are complete
+    no-ops: no journal entry, no version bump.
+
+    The reader API mirrors the old mutable [Wgraph] one, so call sites
+    migrate by renaming [Wgraph.foo g] to [Gstate.foo g] and freezing
+    builders with {!of_builder}. *)
+
+type t
+
+type edge = Topology.edge
+
+val of_topology : Topology.t -> t
+(** Fresh state over a topology: weights at their base values, every node
+    and edge enabled, version 0, empty journal.  Any number of states may
+    share one topology. *)
+
+val of_builder : Wgraph.t -> t
+(** [of_topology (Wgraph.freeze b)] — the usual way to finish building. *)
+
+val topology : t -> Topology.t
+
+val num_nodes : t -> int
+
+val num_edges : t -> int
+(** Total number of edges (including currently disabled ones). *)
+
+val weight : t -> edge -> float
+
+val set_weight : t -> edge -> float -> unit
+
+val add_weight : t -> edge -> float -> unit
+(** [add_weight g e dw] increments the weight (congestion update). *)
+
+val endpoints : t -> edge -> int * int
+
+val other_end : t -> edge -> int -> int
+(** [other_end g e u] is the endpoint of [e] that is not [u].
+    @raise Invalid_argument if [u] is not an endpoint of [e]. *)
+
+val edge_enabled : t -> edge -> bool
+
+val disable_edge : t -> edge -> unit
+
+val enable_edge : t -> edge -> unit
+
+val node_enabled : t -> int -> bool
+
+val disable_node : t -> int -> unit
+(** Disabling a node hides it and all incident edges from traversals. *)
+
+val enable_node : t -> int -> unit
+
+val version : t -> int
+(** Monotone counter bumped by every effective weight or enable/disable
+    mutation, and by every non-empty {!rollback}. *)
+
+val iter_adj : t -> int -> (edge -> int -> float -> unit) -> unit
+(** [iter_adj g u f] calls [f e v w] for every enabled incident edge [e]
+    leading to an enabled neighbor [v] with weight [w].  If [u] itself is
+    disabled nothing is visited. *)
+
+val fold_adj : t -> int -> ('a -> edge -> int -> float -> 'a) -> 'a -> 'a
+
+val degree : t -> int -> int
+(** Number of enabled incident edges (to enabled neighbors). *)
+
+val find_edge : t -> int -> int -> edge option
+(** Some enabled edge between the two nodes, if any (minimum weight one). *)
+
+val iter_edges : t -> (edge -> int -> int -> float -> unit) -> unit
+(** Iterates enabled edges with both endpoints enabled. *)
+
+val mean_edge_weight : t -> float
+(** Average weight over enabled edges — the paper's congestion statistic
+    (w̄). *)
+
+val copy : t -> t
+(** Independent state sharing the same topology; version and journal start
+    fresh. *)
+
+(** {2 Checkpoint / rollback} *)
+
+type checkpoint
+(** A position in the undo journal.  Checkpoints obey stack discipline:
+    nesting is fine, but once an inner span has been {!commit}ted, rolling
+    back to a checkpoint taken {e before} that commit is unsound and must
+    not be attempted. *)
+
+val checkpoint : t -> checkpoint
+
+val rollback : t -> checkpoint -> unit
+(** Restore the exact state (weights and enable flags) at the checkpoint,
+    undoing journal entries newest-first — O(entries written since the
+    checkpoint).  Bumps {!version} if anything was undone; the checkpoint
+    remains valid for further rollbacks.
+    @raise Invalid_argument on a checkpoint invalidated by an earlier
+    rollback past it. *)
+
+val commit : t -> checkpoint -> unit
+(** Accept all mutations since the checkpoint: the journal is truncated to
+    the mark without touching the state, so the entries can no longer be
+    undone.  The state itself is unchanged (no version bump). *)
+
+val journal_depth : t -> int
+(** Current number of live journal entries. *)
+
+(** {2 Counters} (monotone over the state's lifetime) *)
+
+val mutations : t -> int
+(** Effective mutations applied (journal entries written). *)
+
+val rollbacks : t -> int
+(** Number of {!rollback} calls. *)
+
+val rollback_entries : t -> int
+(** Total journal entries undone across all rollbacks — the actual
+    restore work, to compare against O(V+E) full-graph scans. *)
+
+val peak_journal_depth : t -> int
+(** High-water mark of {!journal_depth}. *)
+
+(** {2 Hot-loop accessors}
+
+    Direct views of the internal arrays for traversal inner loops
+    ({!Dijkstra}) that cannot afford per-edge closure calls.  Read-only by
+    contract: writing through them bypasses the journal and the version
+    counter. *)
+
+val unsafe_weights : t -> float array
+
+val unsafe_node_bits : t -> Fr_util.Bitset.t
+
+val unsafe_edge_bits : t -> Fr_util.Bitset.t

@@ -30,9 +30,9 @@ let connected rng ~n ~m ~wmin ~wmax =
       incr added
     end
   done;
-  g
+  Gstate.of_builder g
 
 let random_net rng g ~k =
-  let n = Wgraph.num_nodes g in
+  let n = Gstate.num_nodes g in
   if k > n then invalid_arg "Random_graph.random_net: net larger than graph";
   Rng.sample_distinct rng k n

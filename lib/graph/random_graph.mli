@@ -5,13 +5,13 @@
     tests. *)
 
 val connected :
-  Fr_util.Rng.t -> n:int -> m:int -> wmin:float -> wmax:float -> Wgraph.t
+  Fr_util.Rng.t -> n:int -> m:int -> wmin:float -> wmax:float -> Gstate.t
 (** [connected rng ~n ~m ~wmin ~wmax] builds a connected graph with [n]
     nodes and approximately [m] edges (at least [n-1]): a random spanning
     tree first, then uniformly random extra edges (parallel edges and
     duplicates avoided on a best-effort basis).  Weights uniform in
     [\[wmin, wmax\]]. *)
 
-val random_net : Fr_util.Rng.t -> Wgraph.t -> k:int -> int list
+val random_net : Fr_util.Rng.t -> Gstate.t -> k:int -> int list
 (** [k] distinct nodes of the graph; the first is conventionally the net's
     source. *)

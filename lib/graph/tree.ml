@@ -1,15 +1,15 @@
-type t = { edges : Wgraph.edge list }
+type t = { edges : Gstate.edge list }
 
 let of_edges edges = { edges = List.sort_uniq compare edges }
 
 let empty = { edges = [] }
 
-let cost g t = List.fold_left (fun acc e -> acc +. Wgraph.weight g e) 0. t.edges
+let cost g t = List.fold_left (fun acc e -> acc +. Gstate.weight g e) 0. t.edges
 
 let nodes g t =
   List.concat_map
     (fun e ->
-      let u, v = Wgraph.endpoints g e in
+      let u, v = Gstate.endpoints g e in
       [ u; v ])
     t.edges
   |> List.sort_uniq compare
@@ -25,8 +25,8 @@ let adjacency g t =
   in
   List.iter
     (fun e ->
-      let u, v = Wgraph.endpoints g e in
-      let w = Wgraph.weight g e in
+      let u, v = Gstate.endpoints g e in
+      let w = Gstate.weight g e in
       add u (e, v, w);
       add v (e, u, w))
     t.edges;
@@ -64,8 +64,8 @@ let spans g t terminals =
 let uses_only_enabled g t =
   List.for_all
     (fun e ->
-      let u, v = Wgraph.endpoints g e in
-      Wgraph.edge_enabled g e && Wgraph.node_enabled g u && Wgraph.node_enabled g v)
+      let u, v = Gstate.endpoints g e in
+      Gstate.edge_enabled g e && Gstate.node_enabled g u && Gstate.node_enabled g v)
     t.edges
 
 let path_lengths_from g t ~src =
@@ -105,7 +105,7 @@ let prune g t ~keep =
     let bump u = Hashtbl.replace deg u (1 + try Hashtbl.find deg u with Not_found -> 0) in
     List.iter
       (fun e ->
-        let u, v = Wgraph.endpoints g e in
+        let u, v = Gstate.endpoints g e in
         bump u;
         bump v)
       edges;
@@ -113,7 +113,7 @@ let prune g t ~keep =
     let edges' =
       List.filter
         (fun e ->
-          let u, v = Wgraph.endpoints g e in
+          let u, v = Gstate.endpoints g e in
           not (is_prunable_leaf u || is_prunable_leaf v))
         edges
     in

@@ -5,42 +5,42 @@
     paper reports: total wirelength ([cost], §2) and source–sink pathlengths
     (the GSA objective, §2/§4). *)
 
-type t = { edges : Wgraph.edge list }
+type t = { edges : Gstate.edge list }
 
-val of_edges : Wgraph.edge list -> t
+val of_edges : Gstate.edge list -> t
 (** Deduplicates edge ids. *)
 
 val empty : t
 
-val cost : Wgraph.t -> t -> float
+val cost : Gstate.t -> t -> float
 (** Sum of edge weights — the paper's [cost(T)]. *)
 
-val nodes : Wgraph.t -> t -> int list
+val nodes : Gstate.t -> t -> int list
 (** Sorted distinct nodes touched by the tree's edges. *)
 
-val mem_node : Wgraph.t -> t -> int -> bool
+val mem_node : Gstate.t -> t -> int -> bool
 
-val is_tree : Wgraph.t -> t -> bool
+val is_tree : Gstate.t -> t -> bool
 (** Connected and acyclic over the induced node set (vacuously true when
     empty). *)
 
-val spans : Wgraph.t -> t -> int list -> bool
+val spans : Gstate.t -> t -> int list -> bool
 (** All given terminals appear in the tree (a single terminal with no edges
     counts as spanned). *)
 
-val uses_only_enabled : Wgraph.t -> t -> bool
+val uses_only_enabled : Gstate.t -> t -> bool
 
-val path_length : Wgraph.t -> t -> src:int -> dst:int -> float
+val path_length : Gstate.t -> t -> src:int -> dst:int -> float
 (** Length of the unique tree path between two tree nodes.
     @raise Invalid_argument if either node is absent or disconnected. *)
 
-val path_lengths_from : Wgraph.t -> t -> src:int -> (int * float) list
+val path_lengths_from : Gstate.t -> t -> src:int -> (int * float) list
 (** Distances from [src] to every tree node, by tree traversal. *)
 
-val max_path_length : Wgraph.t -> t -> src:int -> sinks:int list -> float
+val max_path_length : Gstate.t -> t -> src:int -> sinks:int list -> float
 (** The paper's "maximum source–sink pathlength" metric. *)
 
-val prune : Wgraph.t -> t -> keep:int list -> t
+val prune : Gstate.t -> t -> keep:int list -> t
 (** Repeatedly removes leaf nodes not in [keep] (KMB's final pendant-edge
     deletion step, Fig 17). *)
 

@@ -7,31 +7,19 @@ type t = {
   eu : int Vec.t;
   ev : int Vec.t;
   ew : float Vec.t;
-  e_on : bool Vec.t;
-  n_on : bool array;
-  adj : edge Vec.t array; (* incident edge ids per node *)
-  mutable ver : int;
 }
 
-let create ?edge_capacity:_ n =
+let create ?edge_capacity n =
   {
     n;
-    eu = Vec.create ();
-    ev = Vec.create ();
-    ew = Vec.create ();
-    e_on = Vec.create ();
-    n_on = Array.make n true;
-    adj = Array.init n (fun _ -> Vec.create ());
-    ver = 0;
+    eu = Vec.create ?capacity:edge_capacity ();
+    ev = Vec.create ?capacity:edge_capacity ();
+    ew = Vec.create ?capacity:edge_capacity ();
   }
 
 let num_nodes g = g.n
 
 let num_edges g = Vec.length g.eu
-
-let bump g = g.ver <- g.ver + 1
-
-let version g = g.ver
 
 let add_edge g u v w =
   if u = v then invalid_arg "Wgraph.add_edge: self-loop";
@@ -41,99 +29,8 @@ let add_edge g u v w =
   Vec.push g.eu u;
   Vec.push g.ev v;
   Vec.push g.ew w;
-  Vec.push g.e_on true;
-  Vec.push g.adj.(u) e;
-  Vec.push g.adj.(v) e;
-  bump g;
   e
 
-let weight g e = Vec.get g.ew e
-
-let set_weight g e w =
-  if w < 0. then invalid_arg "Wgraph.set_weight: negative weight";
-  Vec.set g.ew e w;
-  bump g
-
-let add_weight g e dw = set_weight g e (weight g e +. dw)
-
-let endpoints g e = (Vec.get g.eu e, Vec.get g.ev e)
-
-let other_end g e u =
-  let a, b = endpoints g e in
-  if u = a then b
-  else if u = b then a
-  else invalid_arg "Wgraph.other_end: node not an endpoint"
-
-let edge_enabled g e = Vec.get g.e_on e
-
-let disable_edge g e =
-  Vec.set g.e_on e false;
-  bump g
-
-let enable_edge g e =
-  Vec.set g.e_on e true;
-  bump g
-
-let node_enabled g u = g.n_on.(u)
-
-let disable_node g u =
-  g.n_on.(u) <- false;
-  bump g
-
-let enable_node g u =
-  g.n_on.(u) <- true;
-  bump g
-
-let iter_adj g u f =
-  if g.n_on.(u) then
-    Vec.iter
-      (fun e ->
-        if Vec.get g.e_on e then begin
-          let v = other_end g e u in
-          if g.n_on.(v) then f e v (Vec.get g.ew e)
-        end)
-      g.adj.(u)
-
-let fold_adj g u f acc =
-  let acc = ref acc in
-  iter_adj g u (fun e v w -> acc := f !acc e v w);
-  !acc
-
-let degree g u = fold_adj g u (fun d _ _ _ -> d + 1) 0
-
-let find_edge g u v =
-  fold_adj g u
-    (fun best e v' w ->
-      if v' <> v then best
-      else
-        match best with
-        | Some (_, bw) when bw <= w -> best
-        | _ -> Some (e, w))
-    None
-  |> Option.map fst
-
-let iter_edges g f =
-  for e = 0 to num_edges g - 1 do
-    if Vec.get g.e_on e then begin
-      let u, v = endpoints g e in
-      if g.n_on.(u) && g.n_on.(v) then f e u v (Vec.get g.ew e)
-    end
-  done
-
-let mean_edge_weight g =
-  let total = ref 0. and count = ref 0 in
-  iter_edges g (fun _ _ _ w ->
-      total := !total +. w;
-      incr count);
-  if !count = 0 then 0. else !total /. float_of_int !count
-
-let copy g =
-  let g' = create g.n in
-  for e = 0 to num_edges g - 1 do
-    let u, v = endpoints g e in
-    let (_ : edge) = add_edge g' u v (weight g e) in
-    if not (edge_enabled g e) then disable_edge g' e
-  done;
-  Array.iteri (fun u on -> if not on then disable_node g' u) g.n_on;
-  g'.ver <- 0;
-  g'
+let freeze g =
+  Topology.make ~n:g.n ~eu:(Vec.to_array g.eu) ~ev:(Vec.to_array g.ev)
+    ~base:(Vec.to_array g.ew)

@@ -1,79 +1,31 @@
-(** Mutable weighted undirected graph.
+(** Graph builder: the append-only construction phase of the routing
+    substrate.
 
-    This is the routing substrate of the whole system (paper §2): nodes are
-    FPGA routing resources or grid points, edge weights are wirelength plus
-    congestion.  Edges and nodes can be disabled — the router removes the
-    resources consumed by each routed net so that subsequent nets stay
-    electrically disjoint.
-
-    Every mutation bumps a [version] counter so that shortest-path caches
-    ({!Dist_cache}) can detect staleness. *)
+    A [Wgraph.t] only accumulates edges; once construction is done,
+    {!freeze} packs it into an immutable CSR {!Topology.t}, and all
+    traversal and mutation (weights, enable flags) happens on a
+    {!Gstate.t} overlay — see {!Gstate.of_builder} for the one-step
+    combination. *)
 
 type t
 
 type edge = int
-(** Dense edge identifiers, assigned by {!add_edge} in order from 0. *)
+(** Dense edge identifiers, assigned by {!add_edge} in order from 0 and
+    stable across {!freeze}. *)
 
 val create : ?edge_capacity:int -> int -> t
-(** [create n] is a graph over nodes [0 .. n-1] with no edges. *)
+(** [create n] is a builder over nodes [0 .. n-1] with no edges.
+    [edge_capacity] pre-sizes the edge store so that adding up to that many
+    edges never reallocates (the RRG knows its edge count up front). *)
 
 val num_nodes : t -> int
 
 val num_edges : t -> int
-(** Total number of edges ever added (including currently disabled ones). *)
 
 val add_edge : t -> int -> int -> float -> edge
 (** [add_edge g u v w] adds an undirected edge of weight [w >= 0.] and
     returns its id.  Self-loops are rejected; parallel edges are allowed. *)
 
-val weight : t -> edge -> float
-
-val set_weight : t -> edge -> float -> unit
-
-val add_weight : t -> edge -> float -> unit
-(** [add_weight g e dw] increments the weight (congestion update). *)
-
-val endpoints : t -> edge -> int * int
-
-val other_end : t -> edge -> int -> int
-(** [other_end g e u] is the endpoint of [e] that is not [u].
-    @raise Invalid_argument if [u] is not an endpoint of [e]. *)
-
-val edge_enabled : t -> edge -> bool
-
-val disable_edge : t -> edge -> unit
-
-val enable_edge : t -> edge -> unit
-
-val node_enabled : t -> int -> bool
-
-val disable_node : t -> int -> unit
-(** Disabling a node hides it and all incident edges from traversals. *)
-
-val enable_node : t -> int -> unit
-
-val version : t -> int
-(** Monotone counter bumped by every weight or enable/disable mutation. *)
-
-val iter_adj : t -> int -> (edge -> int -> float -> unit) -> unit
-(** [iter_adj g u f] calls [f e v w] for every enabled incident edge [e]
-    leading to an enabled neighbor [v] with weight [w].  If [u] itself is
-    disabled nothing is visited. *)
-
-val fold_adj : t -> int -> ('a -> edge -> int -> float -> 'a) -> 'a -> 'a
-
-val degree : t -> int -> int
-(** Number of enabled incident edges (to enabled neighbors). *)
-
-val find_edge : t -> int -> int -> edge option
-(** Some enabled edge between the two nodes, if any (minimum weight one). *)
-
-val iter_edges : t -> (edge -> int -> int -> float -> unit) -> unit
-(** Iterates enabled edges with both endpoints enabled. *)
-
-val mean_edge_weight : t -> float
-(** Average weight over enabled edges — the paper's congestion statistic
-    (w̄). *)
-
-val copy : t -> t
-(** Deep copy; versions start fresh. *)
+val freeze : t -> Topology.t
+(** Pack the accumulated edges into an immutable CSR topology.  The builder
+    may keep growing afterwards; the frozen topology is unaffected. *)

@@ -1,0 +1,26 @@
+(** Fixed-size packed bit vectors.
+
+    Backs the node/edge enable flags of the routing substrate: a get or set
+    is one word load plus mask arithmetic, and copying the whole set is an
+    [Array.copy] of [n/16] words instead of [n] bytes.
+
+    Accesses are bounds-checked only by the backing array, so an index in
+    [0 .. length-1] is the caller's responsibility. *)
+
+type t
+
+val create : ?value:bool -> int -> t
+(** [create n] is a bit set of [n] bits, all initialized to [value]
+    (default [true] — the substrate's enable flags start enabled).
+    @raise Invalid_argument on a negative size. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+val count : t -> int
+(** Number of set bits. *)

@@ -1,17 +1,20 @@
 type 'a t = {
   mutable data : 'a array;
   mutable len : int;
+  cap_hint : int;  (* requested initial capacity; applied at first push *)
 }
 
-let create () = { data = [||]; len = 0 }
+(* A polymorphic vector cannot allocate storage before it has a value to
+   fill it with, so [capacity] is recorded and honored on the first push. *)
+let create ?(capacity = 0) () = { data = [||]; len = 0; cap_hint = max capacity 0 }
 
-let make n x = { data = Array.make (max n 1) x; len = n }
+let make n x = { data = Array.make (max n 1) x; len = n; cap_hint = 0 }
 
 let length v = v.len
 
 let grow v x =
   let cap = Array.length v.data in
-  let ncap = if cap = 0 then 8 else 2 * cap in
+  let ncap = if cap = 0 then max 8 v.cap_hint else 2 * cap in
   let data = Array.make ncap x in
   Array.blit v.data 0 data 0 v.len;
   v.data <- data

@@ -6,8 +6,11 @@
 
 type 'a t
 
-val create : unit -> 'a t
-(** [create ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty vector.  [capacity] pre-sizes the backing store
+    (applied at the first push, since a polymorphic vector has no element to
+    fill preallocated slots with) so that pushing up to [capacity] elements
+    never reallocates. *)
 
 val make : int -> 'a -> 'a t
 (** [make n x] is a vector of [n] copies of [x]. *)

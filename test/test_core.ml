@@ -19,7 +19,7 @@ let star_triangle () =
   ignore (G.Wgraph.add_edge g a s 1.);
   ignore (G.Wgraph.add_edge g b s 1.);
   ignore (G.Wgraph.add_edge g c s 1.);
-  (g, [ a; b; c ], s)
+  (G.Gstate.of_builder g, [ a; b; c ], s)
 
 (* Source A with sinks B and C, both at distance 2: either directly (2.0)
    or through the shared Steiner node m (1+1).  DOM pays 4, IDOM/PFA fold
@@ -32,7 +32,7 @@ let shared_hub () =
   ignore (G.Wgraph.add_edge g a m 1.);
   ignore (G.Wgraph.add_edge g m b 1.);
   ignore (G.Wgraph.add_edge g m c 1.);
-  (g, C.Net.make ~source:a ~sinks:[ b; c ], m)
+  (G.Gstate.of_builder g, C.Net.make ~source:a ~sinks:[ b; c ], m)
 
 let random_instance seed ~n ~m ~k =
   let rng = Rng.make seed in
@@ -83,6 +83,7 @@ let test_kmb_single_terminal () =
 let test_kmb_unroutable () =
   let g = G.Wgraph.create 3 in
   ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = G.Gstate.of_builder g in
   let cache = cache_of g in
   Alcotest.check_raises "disconnected" (C.Routing_err.Unroutable "KMB") (fun () ->
       ignore (C.Kmb.solve cache ~terminals:[ 0; 2 ]))
@@ -181,6 +182,7 @@ let test_exact_guard () =
   for i = 0 to 18 do
     ignore (G.Wgraph.add_edge g i (i + 1) 1.)
   done;
+  let g = G.Gstate.of_builder g in
   Alcotest.check_raises "too many terminals"
     (Invalid_argument "Exact.steiner: too many terminals") (fun () ->
       ignore (C.Exact.steiner g ~terminals:(List.init 13 (fun i -> i))))
@@ -306,6 +308,7 @@ let test_arborescence_single_sink () =
 let test_unroutable_arborescence () =
   let g = G.Wgraph.create 3 in
   ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = G.Gstate.of_builder g in
   let cache = cache_of g in
   let net = C.Net.make ~source:0 ~sinks:[ 2 ] in
   List.iter
@@ -344,7 +347,7 @@ let prop_targeted_cache_identical_trees =
     (fun seed ->
       let g, net = random_instance seed ~n:25 ~m:60 ~k:5 in
       let candidates =
-        List.filteri (fun i _ -> i mod 2 = 0) (List.init (G.Wgraph.num_nodes g) Fun.id)
+        List.filteri (fun i _ -> i mod 2 = 0) (List.init (G.Gstate.num_nodes g) Fun.id)
       in
       let edges t = List.sort compare t.G.Tree.edges in
       List.for_all
@@ -424,6 +427,7 @@ let test_parallel_edges_use_cheaper () =
   let g = G.Wgraph.create 2 in
   ignore (G.Wgraph.add_edge g 0 1 5.);
   let cheap = G.Wgraph.add_edge g 0 1 1. in
+  let g = G.Gstate.of_builder g in
   let cache = cache_of g in
   let t = C.Kmb.solve cache ~terminals:[ 0; 1 ] in
   Alcotest.(check (float 1e-9)) "cheaper parallel edge" 1. (G.Tree.cost g t);
@@ -443,13 +447,14 @@ let test_exact_same_component_of_disconnected_graph () =
   ignore (G.Wgraph.add_edge g 0 1 1.);
   ignore (G.Wgraph.add_edge g 1 2 1.);
   ignore (G.Wgraph.add_edge g 3 4 1.);
+  let g = G.Gstate.of_builder g in
   let t = C.Exact.steiner g ~terminals:[ 0; 2 ] in
   Alcotest.(check (float 1e-9)) "routes within the component" 2. (G.Tree.cost g t)
 
 let test_algorithms_respect_disabled_nodes () =
   (* Disabling the hub forces every algorithm onto direct edges. *)
   let g, net, m = shared_hub () in
-  G.Wgraph.disable_node g m;
+  G.Gstate.disable_node g m;
   let cache = cache_of g in
   List.iter
     (fun (alg : C.Routing_alg.t) ->
@@ -482,7 +487,7 @@ let test_eval_detects_disabled_use () =
   let g, net, _ = shared_hub () in
   let cache = cache_of g in
   let t = C.Pfa.solve cache ~net in
-  List.iter (fun e -> G.Wgraph.disable_edge g e) t.G.Tree.edges;
+  List.iter (fun e -> G.Gstate.disable_edge g e) t.G.Tree.edges;
   Alcotest.(check bool) "disabled edges rejected" true
     (C.Eval.check cache ~net ~tree:t = Error "tree uses disabled resources")
 

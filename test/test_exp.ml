@@ -22,13 +22,13 @@ let test_congestion_levels () =
 
 let test_congestion_none () =
   let grid = E.Congestion.congested_grid (Rng.make 1) ~k:0 in
-  Alcotest.(check (float 1e-9)) "w = 1.00" 1. (G.Wgraph.mean_edge_weight grid.G.Grid.graph)
+  Alcotest.(check (float 1e-9)) "w = 1.00" 1. (G.Gstate.mean_edge_weight grid.G.Grid.graph)
 
 let test_congestion_calibration () =
   (* The paper reports w ~ 1.28 at k=10 and w ~ 1.55 at k=20; our model
      must land in the same band. *)
   let mean k seed =
-    G.Wgraph.mean_edge_weight (E.Congestion.congested_grid (Rng.make seed) ~k).G.Grid.graph
+    G.Gstate.mean_edge_weight (E.Congestion.congested_grid (Rng.make seed) ~k).G.Grid.graph
   in
   let avg k = Fr_util.Stats.mean (List.map (mean k) [ 1; 2; 3; 4; 5 ]) in
   let w10 = avg 10 and w20 = avg 20 in
@@ -43,7 +43,7 @@ let test_congestion_calibration () =
 
 let test_congestion_size_override () =
   let grid = E.Congestion.congested_grid ~width:8 ~height:6 (Rng.make 2) ~k:3 in
-  Alcotest.(check int) "nodes" 48 (G.Wgraph.num_nodes grid.G.Grid.graph)
+  Alcotest.(check int) "nodes" 48 (G.Gstate.num_nodes grid.G.Grid.graph)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)

@@ -20,7 +20,7 @@ let star_triangle () =
   ignore (G.Wgraph.add_edge g 0 3 1.);
   ignore (G.Wgraph.add_edge g 1 3 1.);
   ignore (G.Wgraph.add_edge g 2 3 1.);
-  g
+  G.Gstate.of_builder g
 
 (* ------------------------------------------------------------------ *)
 (* AHHK                                                               *)
@@ -51,6 +51,7 @@ let test_ahhk_rejects_bad_c () =
 let test_ahhk_unroutable () =
   let g = G.Wgraph.create 3 in
   ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = G.Gstate.of_builder g in
   let cache = G.Dist_cache.create g in
   let net = C.Net.make ~source:0 ~sinks:[ 2 ] in
   Alcotest.check_raises "disconnected" (C.Routing_err.Unroutable "AHHK") (fun () ->
@@ -162,6 +163,7 @@ let test_mehlhorn_trivial () =
 let test_mehlhorn_unroutable () =
   let g = G.Wgraph.create 3 in
   ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = G.Gstate.of_builder g in
   Alcotest.check_raises "disconnected" (C.Routing_err.Unroutable "Mehlhorn") (fun () ->
       ignore (C.Mehlhorn.solve g ~terminals:[ 0; 2 ]))
 

@@ -59,7 +59,7 @@ let test_rrg_node_counts () =
   (* hwires: (R+1)*C*W = 5*5*4 = 100; vwires: (C+1)*R*W = 6*4*4 = 96;
      pins: R*C*4*slots = 4*5*4*2 = 160. *)
   Alcotest.(check int) "wires" 196 (F.Rrg.num_wires rrg);
-  Alcotest.(check int) "total nodes" 356 (G.Wgraph.num_nodes rrg.F.Rrg.graph)
+  Alcotest.(check int) "total nodes" 356 (G.Gstate.num_nodes rrg.F.Rrg.graph)
 
 let test_rrg_kind_roundtrip () =
   let rrg = F.Rrg.build (small_arch ()) in
@@ -83,9 +83,9 @@ let test_rrg_pin_fanout_fc () =
   (* fc = W on the 4000 series: each pin must reach exactly W wires. *)
   let rrg = F.Rrg.build (small_arch ~w:4 ()) in
   let p = F.Rrg.pin rrg ~row:1 ~col:2 ~side:F.Rrg.North ~slot:0 in
-  Alcotest.(check int) "pin degree = fc" 4 (G.Wgraph.degree rrg.F.Rrg.graph p);
+  Alcotest.(check int) "pin degree = fc" 4 (G.Gstate.degree rrg.F.Rrg.graph p);
   (* all neighbors lie in the channel segment north of block (1,2): H(2,2) *)
-  G.Wgraph.iter_adj rrg.F.Rrg.graph p (fun _ v _ ->
+  G.Gstate.iter_adj rrg.F.Rrg.graph p (fun _ v _ ->
       match F.Rrg.kind rrg v with
       | F.Rrg.Wire (F.Rrg.H (2, 2), _) -> ()
       | _ -> Alcotest.fail "pin connected to wrong segment")
@@ -95,7 +95,7 @@ let test_rrg_fc_less_than_w () =
   (* fc = 6 *)
   let rrg = F.Rrg.build arch in
   let p = F.Rrg.pin rrg ~row:0 ~col:0 ~side:F.Rrg.North ~slot:0 in
-  Alcotest.(check int) "pin degree = fc = 6" 6 (G.Wgraph.degree rrg.F.Rrg.graph p)
+  Alcotest.(check int) "pin degree = fc = 6" 6 (G.Gstate.degree rrg.F.Rrg.graph p)
 
 let test_rrg_switch_flexibility () =
   (* Interior wire of a 4000-series device (fs=3): at each of its two
@@ -103,7 +103,7 @@ let test_rrg_switch_flexibility () =
   let rrg = F.Rrg.build (small_arch ~w:4 ()) in
   let wire = F.Rrg.hwire rrg ~y:2 ~x:2 ~track:1 in
   let wire_neighbors =
-    G.Wgraph.fold_adj rrg.F.Rrg.graph wire
+    G.Gstate.fold_adj rrg.F.Rrg.graph wire
       (fun acc _ v _ -> if F.Rrg.is_wire rrg v then acc + 1 else acc)
       0
   in
@@ -113,7 +113,7 @@ let test_rrg_connected () =
   let rrg = F.Rrg.build (small_arch ()) in
   let r = G.Dijkstra.run rrg.F.Rrg.graph ~src:0 in
   let unreachable = ref 0 in
-  for v = 0 to G.Wgraph.num_nodes rrg.F.Rrg.graph - 1 do
+  for v = 0 to G.Gstate.num_nodes rrg.F.Rrg.graph - 1 do
     if not (G.Dijkstra.reachable r v) then incr unreachable
   done;
   Alcotest.(check int) "RRG fully connected" 0 !unreachable
@@ -129,7 +129,7 @@ let test_rrg_pos_and_segments () =
   Alcotest.(check int) "segment count" 49 (List.length segs);
   Alcotest.(check int) "segment wires" 4 (List.length (F.Rrg.wires_of_segment rrg (F.Rrg.H (0, 0))));
   Alcotest.(check int) "occupancy starts 0" 0 (F.Rrg.segment_occupancy rrg (F.Rrg.H (0, 0)));
-  G.Wgraph.disable_node rrg.F.Rrg.graph (F.Rrg.hwire rrg ~y:0 ~x:0 ~track:2);
+  G.Gstate.disable_node rrg.F.Rrg.graph (F.Rrg.hwire rrg ~y:0 ~x:0 ~track:2);
   Alcotest.(check int) "occupancy tracks disables" 1 (F.Rrg.segment_occupancy rrg (F.Rrg.H (0, 0)))
 
 let test_rrg_path_cost_counts_wires () =
@@ -417,8 +417,9 @@ let test_max_path_unspanned_sink_raises () =
   let e01 = G.Wgraph.add_edge g 0 1 1. in
   let e12 = G.Wgraph.add_edge g 1 2 1. in
   ignore (G.Wgraph.add_edge g 2 3 1.);
+  let g = G.Gstate.of_builder g in
   let tree = G.Tree.of_edges [ e01; e12 ] in
-  let weight e = G.Wgraph.weight g e in
+  let weight e = G.Gstate.weight g e in
   Alcotest.(check (float 1e-9))
     "spanned sinks measured" 2.
     (F.Router.max_path_of_tree ~weight g tree ~net_src:0 ~sinks:[ 1; 2 ]);
@@ -514,7 +515,7 @@ let test_router_congestion_pressure () =
   let circuit = tiny_circuit () in
   let rrg = F.Rrg.build (small_arch ()) in
   let g = rrg.F.Rrg.graph in
-  let base_weights = Array.init (G.Wgraph.num_edges g) (G.Wgraph.weight g) in
+  let base_weights = Array.init (G.Gstate.num_edges g) (G.Gstate.weight g) in
   match F.Router.route rrg circuit with
   | Error _ -> Alcotest.fail "should route"
   | Ok stats ->
@@ -523,7 +524,7 @@ let test_router_congestion_pressure () =
       List.iter
         (fun v ->
           if F.Rrg.is_wire rrg v then begin
-            Alcotest.(check bool) "consumed wire disabled" false (G.Wgraph.node_enabled g v);
+            Alcotest.(check bool) "consumed wire disabled" false (G.Gstate.node_enabled g v);
             match F.Rrg.segment_of_node rrg v with
             | Some seg ->
                 Alcotest.(check bool) "segment occupancy > 0" true
@@ -532,8 +533,8 @@ let test_router_congestion_pressure () =
           end)
         tree_nodes;
       let heavier = ref 0 in
-      for e = 0 to G.Wgraph.num_edges g - 1 do
-        if G.Wgraph.weight g e > base_weights.(e) +. 1e-9 then incr heavier
+      for e = 0 to G.Gstate.num_edges g - 1 do
+        if G.Gstate.weight g e > base_weights.(e) +. 1e-9 then incr heavier
       done;
       Alcotest.(check bool) "congestion raised some weights" true (!heavier > 0)
 

@@ -16,6 +16,7 @@ let test_elmore_two_pin_analytic () =
   let g = G.Wgraph.create 2 in
   let len = 3. in
   ignore (G.Wgraph.add_edge g 0 1 len);
+  let g = G.Gstate.of_builder g in
   let net = C.Net.make ~source:0 ~sinks:[ 1 ] in
   let tree = G.Tree.of_edges [ 0 ] in
   let p = C.Delay.default_params in
@@ -35,6 +36,7 @@ let test_elmore_farther_sink_is_slower () =
   let g = G.Wgraph.create 3 in
   let e0 = G.Wgraph.add_edge g 0 1 1. in
   let e1 = G.Wgraph.add_edge g 1 2 1. in
+  let g = G.Gstate.of_builder g in
   let net = C.Net.make ~source:0 ~sinks:[ 1; 2 ] in
   let tree = G.Tree.of_edges [ e0; e1 ] in
   let delays = C.Delay.elmore g ~tree ~net in
@@ -45,6 +47,7 @@ let test_elmore_farther_sink_is_slower () =
 let test_elmore_requires_spanning () =
   let g = G.Wgraph.create 3 in
   ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = G.Gstate.of_builder g in
   let net = C.Net.make ~source:0 ~sinks:[ 2 ] in
   Alcotest.check_raises "non-spanning" (Invalid_argument "Delay.elmore: tree does not span net")
     (fun () -> ignore (C.Delay.elmore g ~tree:G.Tree.empty ~net))
@@ -73,6 +76,7 @@ let test_elmore_arborescence_helps () =
 let test_elmore_params_scale () =
   let g = G.Wgraph.create 2 in
   ignore (G.Wgraph.add_edge g 0 1 2.);
+  let g = G.Gstate.of_builder g in
   let net = C.Net.make ~source:0 ~sinks:[ 1 ] in
   let tree = G.Tree.of_edges [ 0 ] in
   let base = C.Delay.max_delay g ~tree ~net in
@@ -94,9 +98,9 @@ let test_elmore_params_scale () =
 
 let test_grid3_structure () =
   let gr = G.Grid3.create ~width:3 ~height:4 ~depth:2 () in
-  Alcotest.(check int) "nodes" 24 (G.Wgraph.num_nodes gr.G.Grid3.graph);
+  Alcotest.(check int) "nodes" 24 (G.Gstate.num_nodes gr.G.Grid3.graph);
   (* edges: x: 2*4*2=16, y: 3*3*2=18, z: 3*4*1=12 *)
-  Alcotest.(check int) "edges" 46 (G.Wgraph.num_edges gr.G.Grid3.graph);
+  Alcotest.(check int) "edges" 46 (G.Gstate.num_edges gr.G.Grid3.graph);
   let n = G.Grid3.node gr ~x:2 ~y:1 ~z:1 in
   Alcotest.(check bool) "roundtrip" true (G.Grid3.coords gr n = (2, 1, 1));
   Alcotest.(check int) "manhattan3" 4

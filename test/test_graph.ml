@@ -9,22 +9,28 @@ module Rng = Fr_util.Rng
 
 (* A small diamond: 0-1 (1.), 0-2 (2.), 1-3 (2.), 2-3 (1.), 1-2 (0.5) *)
 let diamond () =
-  let g = G.Wgraph.create 4 in
-  let e01 = G.Wgraph.add_edge g 0 1 1. in
-  let e02 = G.Wgraph.add_edge g 0 2 2. in
-  let e13 = G.Wgraph.add_edge g 1 3 2. in
-  let e23 = G.Wgraph.add_edge g 2 3 1. in
-  let e12 = G.Wgraph.add_edge g 1 2 0.5 in
-  (g, e01, e02, e13, e23, e12)
+  let b = G.Wgraph.create 4 in
+  let e01 = G.Wgraph.add_edge b 0 1 1. in
+  let e02 = G.Wgraph.add_edge b 0 2 2. in
+  let e13 = G.Wgraph.add_edge b 1 3 2. in
+  let e23 = G.Wgraph.add_edge b 2 3 1. in
+  let e12 = G.Wgraph.add_edge b 1 2 0.5 in
+  (G.Gstate.of_builder b, e01, e02, e13, e23, e12)
+
+(* Build-and-freeze in one go: [graph n [(u, v, w); ...]]. *)
+let graph n edges =
+  let b = G.Wgraph.create n in
+  List.iter (fun (u, v, w) -> ignore (G.Wgraph.add_edge b u v w)) edges;
+  G.Gstate.of_builder b
 
 (* Floyd–Warshall reference for cross-checking Dijkstra. *)
 let floyd_warshall g =
-  let n = G.Wgraph.num_nodes g in
+  let n = G.Gstate.num_nodes g in
   let d = Array.make_matrix n n infinity in
   for i = 0 to n - 1 do
     d.(i).(i) <- 0.
   done;
-  G.Wgraph.iter_edges g (fun _ u v w ->
+  G.Gstate.iter_edges g (fun _ u v w ->
       if w < d.(u).(v) then begin
         d.(u).(v) <- w;
         d.(v).(u) <- w
@@ -78,6 +84,44 @@ let prop_heap_sorts =
       let out = drain [] in
       out = List.sort compare ps)
 
+(* Interleaved pushes and pops tracked against a sorted-list model: every
+   pop must return the model's minimum, in any operation order. *)
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap interleaved push/pop matches model" ~count:200
+    QCheck.(list (pair bool (float_bound_inclusive 1000.)))
+    (fun ops ->
+      let h = G.Heap.create ~capacity:2 () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i (is_pop, p) ->
+          if is_pop then
+            match (G.Heap.pop_min h, !model) with
+            | None, [] -> ()
+            | Some (got, _), m :: rest when got = m -> model := rest
+            | _ -> ok := false
+          else begin
+            G.Heap.push h p i;
+            model := List.sort compare (p :: !model)
+          end)
+        ops;
+      !ok && G.Heap.size h = List.length !model)
+
+let test_heap_growth () =
+  (* Push far past the initial capacity; order and payloads must survive
+     every reallocation. *)
+  let h = G.Heap.create ~capacity:2 () in
+  for i = 99 downto 0 do
+    G.Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "size after growth" 100 (G.Heap.size h);
+  for i = 0 to 99 do
+    match G.Heap.pop_min h with
+    | Some (p, x) when p = float_of_int i && x = i -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "wrong pop %d after growth" i)
+  done;
+  Alcotest.(check bool) "drained" true (G.Heap.is_empty h)
+
 (* ------------------------------------------------------------------ *)
 (* Dsu                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -100,12 +144,12 @@ let test_dsu () =
 
 let test_wgraph_basic () =
   let g, e01, _, _, _, _ = diamond () in
-  Alcotest.(check int) "nodes" 4 (G.Wgraph.num_nodes g);
-  Alcotest.(check int) "edges" 5 (G.Wgraph.num_edges g);
-  Alcotest.(check (float 1e-9)) "weight" 1. (G.Wgraph.weight g e01);
-  Alcotest.(check bool) "endpoints" true (G.Wgraph.endpoints g e01 = (0, 1));
-  Alcotest.(check int) "other_end" 1 (G.Wgraph.other_end g e01 0);
-  Alcotest.(check int) "degree 1" 3 (G.Wgraph.degree g 1)
+  Alcotest.(check int) "nodes" 4 (G.Gstate.num_nodes g);
+  Alcotest.(check int) "edges" 5 (G.Gstate.num_edges g);
+  Alcotest.(check (float 1e-9)) "weight" 1. (G.Gstate.weight g e01);
+  Alcotest.(check bool) "endpoints" true (G.Gstate.endpoints g e01 = (0, 1));
+  Alcotest.(check int) "other_end" 1 (G.Gstate.other_end g e01 0);
+  Alcotest.(check int) "degree 1" 3 (G.Gstate.degree g 1)
 
 let test_wgraph_rejects () =
   let g = G.Wgraph.create 3 in
@@ -118,49 +162,50 @@ let test_wgraph_rejects () =
 
 let test_wgraph_disable () =
   let g, e01, e02, _, _, _ = diamond () in
-  G.Wgraph.disable_edge g e01;
-  Alcotest.(check bool) "disabled" false (G.Wgraph.edge_enabled g e01);
-  Alcotest.(check int) "degree drops" 1 (G.Wgraph.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
-  G.Wgraph.enable_edge g e01;
-  Alcotest.(check int) "degree restored" 2 (G.Wgraph.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
-  G.Wgraph.disable_node g 2;
+  G.Gstate.disable_edge g e01;
+  Alcotest.(check bool) "disabled" false (G.Gstate.edge_enabled g e01);
+  Alcotest.(check int) "degree drops" 1 (G.Gstate.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
+  G.Gstate.enable_edge g e01;
+  Alcotest.(check int) "degree restored" 2 (G.Gstate.fold_adj g 0 (fun d _ _ _ -> d + 1) 0);
+  G.Gstate.disable_node g 2;
   Alcotest.(check bool) "edge to disabled node hidden" true
-    (G.Wgraph.fold_adj g 0 (fun acc e _ _ -> acc && e <> e02) true);
-  G.Wgraph.enable_node g 2;
-  Alcotest.(check int) "node restored" 2 (G.Wgraph.degree g 0)
+    (G.Gstate.fold_adj g 0 (fun acc e _ _ -> acc && e <> e02) true);
+  G.Gstate.enable_node g 2;
+  Alcotest.(check int) "node restored" 2 (G.Gstate.degree g 0)
 
 let test_wgraph_version_and_weights () =
   let g, e01, _, _, _, _ = diamond () in
-  let v0 = G.Wgraph.version g in
-  G.Wgraph.add_weight g e01 0.5;
-  Alcotest.(check (float 1e-9)) "incremented" 1.5 (G.Wgraph.weight g e01);
-  Alcotest.(check bool) "version bumped" true (G.Wgraph.version g > v0)
+  let v0 = G.Gstate.version g in
+  G.Gstate.add_weight g e01 0.5;
+  Alcotest.(check (float 1e-9)) "incremented" 1.5 (G.Gstate.weight g e01);
+  Alcotest.(check bool) "version bumped" true (G.Gstate.version g > v0)
 
 let test_wgraph_find_edge () =
   let g, _, _, _, _, e12 = diamond () in
-  Alcotest.(check bool) "find parallel-min" true (G.Wgraph.find_edge g 1 2 = Some e12);
-  Alcotest.(check bool) "absent" true (G.Wgraph.find_edge g 0 3 = None);
-  (* parallel edge with smaller weight wins *)
-  let e12b = G.Wgraph.add_edge g 1 2 0.25 in
-  Alcotest.(check bool) "prefers lighter parallel" true (G.Wgraph.find_edge g 1 2 = Some e12b)
+  Alcotest.(check bool) "find parallel-min" true (G.Gstate.find_edge g 1 2 = Some e12);
+  Alcotest.(check bool) "absent" true (G.Gstate.find_edge g 0 3 = None);
+  (* parallel edge with smaller weight wins (fresh graph: edges are frozen) *)
+  let g' = graph 3 [ (0, 1, 1.); (1, 2, 0.5); (1, 2, 0.25) ] in
+  Alcotest.(check bool) "prefers lighter parallel" true (G.Gstate.find_edge g' 1 2 = Some 2)
 
 let test_wgraph_copy () =
   let g, e01, _, _, _, _ = diamond () in
-  G.Wgraph.disable_edge g e01;
-  G.Wgraph.disable_node g 3;
-  let g' = G.Wgraph.copy g in
-  Alcotest.(check bool) "copied disable state" false (G.Wgraph.edge_enabled g' e01);
-  Alcotest.(check bool) "copied node state" false (G.Wgraph.node_enabled g' 3);
-  G.Wgraph.enable_edge g' e01;
-  Alcotest.(check bool) "independent" false (G.Wgraph.edge_enabled g e01)
+  G.Gstate.disable_edge g e01;
+  G.Gstate.disable_node g 3;
+  let g' = G.Gstate.copy g in
+  Alcotest.(check bool) "copied disable state" false (G.Gstate.edge_enabled g' e01);
+  Alcotest.(check bool) "copied node state" false (G.Gstate.node_enabled g' 3);
+  G.Gstate.enable_edge g' e01;
+  Alcotest.(check bool) "independent" false (G.Gstate.edge_enabled g e01)
 
 let test_mean_edge_weight () =
-  let g = G.Wgraph.create 3 in
-  ignore (G.Wgraph.add_edge g 0 1 1.);
-  let e = G.Wgraph.add_edge g 1 2 3. in
-  Alcotest.(check (float 1e-9)) "mean" 2. (G.Wgraph.mean_edge_weight g);
-  G.Wgraph.disable_edge g e;
-  Alcotest.(check (float 1e-9)) "mean after disable" 1. (G.Wgraph.mean_edge_weight g)
+  let b = G.Wgraph.create 3 in
+  ignore (G.Wgraph.add_edge b 0 1 1.);
+  let e = G.Wgraph.add_edge b 1 2 3. in
+  let g = G.Gstate.of_builder b in
+  Alcotest.(check (float 1e-9)) "mean" 2. (G.Gstate.mean_edge_weight g);
+  G.Gstate.disable_edge g e;
+  Alcotest.(check (float 1e-9)) "mean after disable" 1. (G.Gstate.mean_edge_weight g)
 
 (* ------------------------------------------------------------------ *)
 (* Dijkstra                                                           *)
@@ -178,13 +223,12 @@ let test_dijkstra_diamond () =
 
 let test_dijkstra_disabled_detour () =
   let g, _, _, _, _, e12 = diamond () in
-  G.Wgraph.disable_edge g e12;
+  G.Gstate.disable_edge g e12;
   let r = G.Dijkstra.run g ~src:0 in
   Alcotest.(check (float 1e-9)) "d3 detours" 3. (G.Dijkstra.dist r 3)
 
 let test_dijkstra_unreachable () =
-  let g = G.Wgraph.create 3 in
-  ignore (G.Wgraph.add_edge g 0 1 1.);
+  let g = graph 3 [ (0, 1, 1.) ] in
   let r = G.Dijkstra.run g ~src:0 in
   Alcotest.(check bool) "unreachable" false (G.Dijkstra.reachable r 2);
   Alcotest.check_raises "path to unreachable"
@@ -234,7 +278,7 @@ let prop_dijkstra_path_cost_consistent =
       let ok = ref true in
       for v = 0 to 29 do
         let edges = G.Dijkstra.path_edges r v in
-        let total = List.fold_left (fun acc e -> acc +. G.Wgraph.weight g e) 0. edges in
+        let total = List.fold_left (fun acc e -> acc +. G.Gstate.weight g e) 0. edges in
         if Float.abs (total -. G.Dijkstra.dist r v) > 1e-6 then ok := false
       done;
       !ok)
@@ -312,9 +356,8 @@ let test_tree_cycle_detection () =
   Alcotest.(check bool) "cycle is not a tree" false (G.Tree.is_tree g t)
 
 let test_tree_disconnected () =
-  let g = G.Wgraph.create 4 in
-  let a = G.Wgraph.add_edge g 0 1 1. in
-  let b = G.Wgraph.add_edge g 2 3 1. in
+  let g = graph 4 [ (0, 1, 1.); (2, 3, 1.) ] in
+  let a = 0 and b = 1 in
   let t = G.Tree.of_edges [ a; b ] in
   Alcotest.(check bool) "forest is not a tree" false (G.Tree.is_tree g t)
 
@@ -330,16 +373,13 @@ let test_tree_prune () =
 
 let test_tree_prune_cascade () =
   (* A path 0-1-2-3 keeping only 0: everything prunes away. *)
-  let g = G.Wgraph.create 4 in
-  let a = G.Wgraph.add_edge g 0 1 1. in
-  let b = G.Wgraph.add_edge g 1 2 1. in
-  let c = G.Wgraph.add_edge g 2 3 1. in
-  let t = G.Tree.of_edges [ a; b; c ] in
+  let g = graph 4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.) ] in
+  let t = G.Tree.of_edges [ 0; 1; 2 ] in
   let pruned = G.Tree.prune g t ~keep:[ 0 ] in
   Alcotest.(check int) "fully pruned" 0 (List.length pruned.G.Tree.edges)
 
 let test_tree_empty () =
-  let g = G.Wgraph.create 2 in
+  let g = graph 2 [] in
   Alcotest.(check bool) "empty is tree" true (G.Tree.is_tree g G.Tree.empty);
   Alcotest.(check bool) "single terminal spanned" true (G.Tree.spans g G.Tree.empty [ 1 ]);
   Alcotest.(check (float 1e-9)) "empty cost" 0. (G.Tree.cost g G.Tree.empty)
@@ -350,9 +390,9 @@ let test_tree_empty () =
 
 let test_grid_structure () =
   let gr = G.Grid.create ~width:4 ~height:3 () in
-  Alcotest.(check int) "nodes" 12 (G.Wgraph.num_nodes gr.G.Grid.graph);
+  Alcotest.(check int) "nodes" 12 (G.Gstate.num_nodes gr.G.Grid.graph);
   (* edges: 3*3 horizontal rows? horizontal: (4-1)*3 = 9, vertical: 4*2 = 8 *)
-  Alcotest.(check int) "edges" 17 (G.Wgraph.num_edges gr.G.Grid.graph);
+  Alcotest.(check int) "edges" 17 (G.Gstate.num_edges gr.G.Grid.graph);
   let n = G.Grid.node gr ~x:2 ~y:1 in
   Alcotest.(check bool) "coords roundtrip" true (G.Grid.coords gr n = (2, 1));
   Alcotest.(check int) "manhattan" 3
@@ -373,11 +413,11 @@ let test_grid_distances_rectilinear () =
 let test_grid_edge_lookup () =
   let gr = G.Grid.create ~width:3 ~height:3 () in
   let e = G.Grid.horizontal_edge gr ~x:0 ~y:0 in
-  let u, v = G.Wgraph.endpoints gr.G.Grid.graph e in
+  let u, v = G.Gstate.endpoints gr.G.Grid.graph e in
   Alcotest.(check bool) "horizontal endpoints" true
     ((u, v) = (G.Grid.node gr ~x:0 ~y:0, G.Grid.node gr ~x:1 ~y:0));
   let e' = G.Grid.vertical_edge gr ~x:2 ~y:1 in
-  let u', v' = G.Wgraph.endpoints gr.G.Grid.graph e' in
+  let u', v' = G.Gstate.endpoints gr.G.Grid.graph e' in
   Alcotest.(check bool) "vertical endpoints" true
     ((u', v') = (G.Grid.node gr ~x:2 ~y:1, G.Grid.node gr ~x:2 ~y:2))
 
@@ -401,7 +441,7 @@ let test_random_graph_connected () =
     if not (G.Dijkstra.reachable r v) then all_reachable := false
   done;
   Alcotest.(check bool) "connected" true !all_reachable;
-  Alcotest.(check bool) "edge count ~m" true (G.Wgraph.num_edges g >= 39)
+  Alcotest.(check bool) "edge count ~m" true (G.Gstate.num_edges g >= 39)
 
 let test_random_net () =
   let rng = Rng.make 12 in
@@ -428,7 +468,7 @@ let test_dist_cache_invalidation () =
   let c = G.Dist_cache.create g in
   let d0 = G.Dist_cache.dist c ~src:0 ~dst:1 in
   Alcotest.(check (float 1e-9)) "before" 1. d0;
-  G.Wgraph.set_weight g e01 10.;
+  G.Gstate.set_weight g e01 10.;
   let d1 = G.Dist_cache.dist c ~src:0 ~dst:1 in
   Alcotest.(check (float 1e-9)) "after (via 2)" 2.5 d1
 
@@ -442,7 +482,7 @@ let test_dist_cache_sym () =
   (* Served from node 3's result: still a single run. *)
   Alcotest.(check int) "no extra run" 1 (G.Dist_cache.runs c);
   let p = G.Dist_cache.path_edges_sym c 0 3 in
-  let total = List.fold_left (fun acc e -> acc +. G.Wgraph.weight g e) 0. p in
+  let total = List.fold_left (fun acc e -> acc +. G.Gstate.weight g e) 0. p in
   Alcotest.(check (float 1e-9)) "sym path cost" 2.5 total
 
 (* Targeted runs and resumed partial runs must agree with a full run
@@ -469,7 +509,7 @@ let prop_targeted_equals_full =
       for v = 0 to n - 1 do
         if G.Dijkstra.dist full v <> G.Dijkstra.dist r v then
           QCheck.Test.fail_reportf "dist mismatch at %d" v;
-        let cost edges = List.fold_left (fun a e -> a +. G.Wgraph.weight g e) 0. edges in
+        let cost edges = List.fold_left (fun a e -> a +. G.Gstate.weight g e) 0. edges in
         let pf = cost (G.Dijkstra.path_edges full v) and pr = cost (G.Dijkstra.path_edges r v) in
         if Float.abs (pf -. pr) > 1e-9 then QCheck.Test.fail_reportf "path mismatch at %d" v
       done;
@@ -492,7 +532,7 @@ let test_dijkstra_lazy_extension () =
 let test_dijkstra_stale_resume_rejected () =
   let g, e01, _, _, _, _ = diamond () in
   let r = G.Dijkstra.run ~targets:[ 1 ] g ~src:0 in
-  G.Wgraph.set_weight g e01 10.;
+  G.Gstate.set_weight g e01 10.;
   Alcotest.check_raises "stale resume"
     (Invalid_argument "Dijkstra.extend: graph mutated since the run started") (fun () ->
       G.Dijkstra.extend r ~targets:[ 3 ])
@@ -509,8 +549,8 @@ let prop_cache_never_stale =
       for step = 0 to 49 do
         (* Occasionally perturb a weight: bumps the version. *)
         if step mod 7 = 3 then begin
-          let e = Rng.int rng (G.Wgraph.num_edges g) in
-          G.Wgraph.set_weight g e (0.5 +. Rng.float rng 4.)
+          let e = Rng.int rng (G.Gstate.num_edges g) in
+          G.Gstate.set_weight g e (0.5 +. Rng.float rng 4.)
         end;
         let src = Rng.int rng n and dst = Rng.int rng n in
         let got = G.Dist_cache.dist c ~src ~dst in
@@ -559,6 +599,95 @@ let test_dist_cache_targeted_counters () =
   Alcotest.(check bool) "dropped" false (G.Dist_cache.cached ct 0);
   Alcotest.(check int) "counters survive" 4 (G.Dist_cache.settled_nodes ct)
 
+(* ------------------------------------------------------------------ *)
+(* Gstate journal                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_gstate_checkpoint_basics () =
+  let g = graph 3 [ (0, 1, 1.); (1, 2, 2.) ] in
+  let v0 = G.Gstate.version g in
+  (* No-op mutations (same value) write no journal entry and bump nothing. *)
+  G.Gstate.set_weight g 0 1.;
+  G.Gstate.enable_node g 1;
+  G.Gstate.enable_edge g 0;
+  Alcotest.(check int) "no-op keeps version" v0 (G.Gstate.version g);
+  Alcotest.(check int) "no-op keeps journal empty" 0 (G.Gstate.journal_depth g);
+  let cp0 = G.Gstate.checkpoint g in
+  G.Gstate.set_weight g 0 5.;
+  G.Gstate.disable_node g 2;
+  let cp1 = G.Gstate.checkpoint g in
+  G.Gstate.disable_edge g 1;
+  Alcotest.(check int) "journal grows per mutation" 3 (G.Gstate.journal_depth g);
+  G.Gstate.rollback g cp1;
+  Alcotest.(check bool) "inner rollback re-enables edge" true (G.Gstate.edge_enabled g 1);
+  Alcotest.(check (float 1e-9)) "outer span untouched" 5. (G.Gstate.weight g 0);
+  G.Gstate.rollback g cp0;
+  Alcotest.(check (float 1e-9)) "weight restored" 1. (G.Gstate.weight g 0);
+  Alcotest.(check bool) "node restored" true (G.Gstate.node_enabled g 2);
+  Alcotest.(check int) "journal drained" 0 (G.Gstate.journal_depth g);
+  (* cp1 now points past the journal end: stale checkpoints are rejected. *)
+  Alcotest.check_raises "stale checkpoint"
+    (Invalid_argument "Gstate.rollback: invalid checkpoint") (fun () ->
+      G.Gstate.rollback g cp1);
+  (* commit keeps the new state but truncates the undo entries. *)
+  let cp2 = G.Gstate.checkpoint g in
+  G.Gstate.set_weight g 1 9.;
+  G.Gstate.commit g cp2;
+  Alcotest.(check (float 1e-9)) "committed weight sticks" 9. (G.Gstate.weight g 1);
+  Alcotest.(check int) "commit truncates journal" 0 (G.Gstate.journal_depth g);
+  Alcotest.(check bool) "counters tracked" true
+    (G.Gstate.mutations g >= 4 && G.Gstate.rollbacks g = 2 && G.Gstate.peak_journal_depth g >= 3)
+
+(* Random mutation sequences around a checkpoint: rollback must restore the
+   exact observable state at the checkpoint, and the version counter must
+   never decrease. *)
+let prop_gstate_rollback_restores =
+  QCheck.Test.make ~name:"Gstate rollback restores checkpoint state" ~count:100
+    QCheck.(triple (int_range 0 1000) (int_range 0 30) (int_range 0 30))
+    (fun (seed, n_before, n_after) ->
+      let rng = Rng.make seed in
+      let g = G.Random_graph.connected rng ~n:12 ~m:30 ~wmin:0.5 ~wmax:4. in
+      let ne = G.Gstate.num_edges g and nn = G.Gstate.num_nodes g in
+      let mutate () =
+        match Rng.int rng 6 with
+        | 0 -> G.Gstate.set_weight g (Rng.int rng ne) (Rng.float rng 5.)
+        | 1 -> G.Gstate.add_weight g (Rng.int rng ne) (Rng.float rng 2.)
+        | 2 -> G.Gstate.disable_edge g (Rng.int rng ne)
+        | 3 -> G.Gstate.enable_edge g (Rng.int rng ne)
+        | 4 -> G.Gstate.disable_node g (Rng.int rng nn)
+        | _ -> G.Gstate.enable_node g (Rng.int rng nn)
+      in
+      let snapshot () =
+        ( Array.init ne (G.Gstate.weight g),
+          Array.init nn (G.Gstate.node_enabled g),
+          Array.init ne (G.Gstate.edge_enabled g) )
+      in
+      (* newest-first trace of every observed version *)
+      let vers = ref [ G.Gstate.version g ] in
+      let note () = vers := G.Gstate.version g :: !vers in
+      for _ = 1 to n_before do
+        mutate ();
+        note ()
+      done;
+      let want = snapshot () in
+      let cp = G.Gstate.checkpoint g in
+      let depth_at_cp = G.Gstate.journal_depth g in
+      for _ = 1 to n_after do
+        mutate ();
+        note ()
+      done;
+      G.Gstate.rollback g cp;
+      note ();
+      let restored = snapshot () = want in
+      let depth_ok = G.Gstate.journal_depth g = depth_at_cp in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a >= b && monotone rest
+        | _ -> true
+      in
+      (* the checkpoint survives a rollback: rolling back again is legal *)
+      G.Gstate.rollback g cp;
+      restored && depth_ok && monotone !vers && snapshot () = want)
+
 let () =
   Alcotest.run "fr_graph"
     [
@@ -566,7 +695,14 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_heap_order;
           Alcotest.test_case "empty/peek/clear" `Quick test_heap_empty;
+          Alcotest.test_case "growth past capacity" `Quick test_heap_growth;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_interleaved;
+        ] );
+      ( "gstate",
+        [
+          Alcotest.test_case "checkpoint/rollback/commit" `Quick test_gstate_checkpoint_basics;
+          QCheck_alcotest.to_alcotest prop_gstate_rollback_restores;
         ] );
       ("dsu", [ Alcotest.test_case "union/find" `Quick test_dsu ]);
       ( "wgraph",

@@ -65,8 +65,8 @@ let test_pfa_suboptimal_on_congested_grid () =
   let grid = G.Grid.create ~width:10 ~height:10 () in
   let g = grid.G.Grid.graph in
   for _ = 1 to 120 do
-    let e = Rng.int rng (G.Wgraph.num_edges g) in
-    G.Wgraph.add_weight g e 1.0
+    let e = Rng.int rng (G.Gstate.num_edges g) in
+    G.Gstate.add_weight g e 1.0
   done;
   let net = C.Net.of_terminals (G.Random_graph.random_net rng g ~k:6) in
   let cache = cache_of g in
