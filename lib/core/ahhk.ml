@@ -49,11 +49,11 @@ let solve ~c cache ~net =
 let max_radius_ratio cache ~net ~tree =
   let g = G.Dist_cache.graph cache in
   let r = G.Dist_cache.result cache ~src:net.Net.source in
-  let lengths = G.Tree.path_lengths_from g tree ~src:net.Net.source in
+  let lengths = G.Tree.path_table g tree ~src:net.Net.source in
   List.fold_left
     (fun acc s ->
       let opt = G.Dijkstra.dist r s in
-      match List.assoc_opt s lengths with
-      | Some d when opt > 0. -> max acc (d /. opt)
+      match Hashtbl.find_opt lengths s with
+      | Some d when opt > 0. -> Float.max acc (d /. opt)
       | _ -> acc)
     1. net.Net.sinks

@@ -83,10 +83,10 @@ let solve ~epsilon cache ~net =
 let radius_bound_holds ~epsilon cache ~net ~tree =
   let g = G.Dist_cache.graph cache in
   let rsrc = G.Dist_cache.result cache ~src:net.Net.source in
-  let lengths = G.Tree.path_lengths_from g tree ~src:net.Net.source in
+  let lengths = G.Tree.path_table g tree ~src:net.Net.source in
   List.for_all
     (fun s ->
-      match List.assoc_opt s lengths with
+      match Hashtbl.find_opt lengths s with
       | Some d -> d <= ((1. +. epsilon) *. G.Dijkstra.dist rsrc s) +. 1e-6
       | None -> false)
     net.Net.sinks

@@ -35,7 +35,8 @@ let max_dom ?(allowed = fun _ -> true) ?candidates cache ~source ~p ~q =
   let sd = G.Dijkstra.dist rsrc in
   let pd = G.Dijkstra.dist rp in
   let qd = G.Dijkstra.dist rq in
-  if sd p = infinity || sd q = infinity then None
+  let sdp = sd p and sdq = sd q in
+  if sdp = infinity || sdq = infinity then None
   else begin
     let best = ref (-1) and best_d = ref neg_infinity in
     let consider m =
@@ -67,7 +68,8 @@ let nearest_dominated cache ~source ~members ~p =
        side is memoized, so scanning a *candidate* p (IDOM's Δ-loop) costs
        no Dijkstra from p. *)
     let pd s = G.Dist_cache.dist_sym cache s p in
-    if sd p = infinity then None
+    let sdp = sd p in
+    if sdp = infinity then None
     else begin
       let better (s, d) = function
         | None -> true

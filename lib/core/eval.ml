@@ -27,17 +27,17 @@ let metrics cache ~net ~tree =
     match net.Net.sinks with
     | [] -> []
     | _ ->
-        let all = G.Tree.path_lengths_from g tree ~src in
+        let all = G.Tree.path_table g tree ~src in
         List.map
           (fun s ->
-            match List.assoc_opt s all with
+            match Hashtbl.find_opt all s with
             | Some d -> (s, d)
             | None -> invalid_arg "Eval.metrics: sink disconnected in tree")
           net.Net.sinks
   in
-  let max_path = List.fold_left (fun acc (_, d) -> max acc d) 0. lengths in
+  let max_path = List.fold_left (fun acc (_, d) -> Float.max acc d) 0. lengths in
   let opt_max_path =
-    List.fold_left (fun acc s -> max acc (G.Dijkstra.dist r s)) 0. net.Net.sinks
+    List.fold_left (fun acc s -> Float.max acc (G.Dijkstra.dist r s)) 0. net.Net.sinks
   in
   let arborescence =
     List.for_all

@@ -86,7 +86,8 @@ let grow ?(batched = false) ?candidates h cache ~terminals =
   if List.length terminals <= 2 then begin
     (* A single source-sink pair: the shortest path is already optimal, no
        Steiner node can improve it. *)
-    if try_cost h cache ~terminals = infinity then Routing_err.fail ("I" ^ h.name);
+    let base = try_cost h cache ~terminals in
+    if base = infinity then Routing_err.fail ("I" ^ h.name);
     []
   end
   else begin

@@ -14,6 +14,10 @@ let fold_members ?steiner_ok ?steiner_candidates cache ~net =
     | Some ok -> fun m -> m = source || ok m
   in
   let active = ref (List.sort_uniq compare (Net.terminals net)) in
+  (* [members] keeps the paper's accumulation order (merge points prepended
+     to the sorted terminals); [member_set] makes the dedup probe O(1). *)
+  let member_set = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace member_set m ()) !active;
   let members = ref !active in
   while List.length !active > 1 do
     (* Find the pair {p,q} whose MaxDom is farthest from the source. *)
@@ -37,7 +41,10 @@ let fold_members ?steiner_ok ?steiner_candidates cache ~net =
     | None -> Routing_err.fail "PFA"
     | Some (p, q, m, _) ->
         active := List.sort_uniq compare (m :: List.filter (fun x -> x <> p && x <> q) !active);
-        if not (List.mem m !members) then members := m :: !members
+        if not (Hashtbl.mem member_set m) then begin
+          Hashtbl.replace member_set m ();
+          members := m :: !members
+        end
   done;
   (* With strictly positive weights the last active node is the source. *)
   !members

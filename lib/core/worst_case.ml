@@ -44,7 +44,7 @@ let pfa_graph ~k =
    optimal subtree for points i..j rooted at their meet — satisfies a
    textbook interval recurrence.  Horizontal unit 1, vertical unit 2. *)
 let staircase_opt ~n =
-  if n < 1 then invalid_arg "Worst_case.staircase_opt";
+  if n < 1 then invalid_arg "Worst_case.staircase_opt: n >= 1 required";
   let npts = n + 1 in
   (* point i = (i, n - i) *)
   let x i = float_of_int i and y i = float_of_int (n - i) in

@@ -87,7 +87,8 @@ let solve ?memo ?(steiner_ok = fun _ -> true) ?steiner_candidates cache ~termina
     let mst_cost m =
       snd (G.Mst.prim_dense ~n:k ~weight:(fun i j -> m.(i).(j)))
     in
-    if mst_cost w = infinity then Routing_err.fail "ZEL";
+    let base_mst_cost = mst_cost w in
+    if base_mst_cost = infinity then Routing_err.fail "ZEL";
     (* Candidate triples as index triples with their Steiner point. *)
     let triples = ref [] in
     for i = 0 to k - 1 do

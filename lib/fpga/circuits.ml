@@ -117,7 +117,7 @@ let all_specs = specs_3000 @ specs_4000
 
 let find_spec name =
   let lower = String.lowercase_ascii name in
-  List.find_opt (fun s -> String.lowercase_ascii s.circuit = lower) all_specs
+  List.find_opt (fun s -> String.equal (String.lowercase_ascii s.circuit) lower) all_specs
 
 let arch_for s ~channel_width =
   match s.series with

@@ -21,8 +21,9 @@ type circuit = {
 let make_net ~name ~source ~sinks =
   if sinks = [] then invalid_arg "Netlist.make_net: no sinks";
   let all = source :: sinks in
-  if List.length (List.sort_uniq compare all) <> List.length all then
-    invalid_arg "Netlist.make_net: duplicate pins";
+  let n_all = List.length all in
+  let n_distinct = List.length (List.sort_uniq compare all) in
+  if n_distinct <> n_all then invalid_arg "Netlist.make_net: duplicate pins";
   { net_name = name; source; sinks }
 
 let net_pins n = n.source :: n.sinks

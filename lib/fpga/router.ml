@@ -69,10 +69,10 @@ let half_perimeter net =
 let initial_order nets =
   List.stable_sort
     (fun a b ->
-      match compare (Netlist.pin_count b) (Netlist.pin_count a) with
+      match Int.compare (Netlist.pin_count b) (Netlist.pin_count a) with
       | 0 -> (
-          match compare (half_perimeter b) (half_perimeter a) with
-          | 0 -> compare a.Netlist.net_name b.Netlist.net_name
+          match Int.compare (half_perimeter b) (half_perimeter a) with
+          | 0 -> String.compare a.Netlist.net_name b.Netlist.net_name
           | c -> c)
       | c -> c)
     nets
@@ -306,7 +306,7 @@ let route_one_pass pool cfg rrg order base_w =
   (List.rev !routed, List.rev !failed)
 
 let peak_occupancy rrg =
-  List.fold_left (fun acc seg -> max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
+  List.fold_left (fun acc seg -> Int.max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
 
 let route ?(config = default_config) rrg circuit =
   (match Netlist.validate circuit with

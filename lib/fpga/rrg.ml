@@ -13,7 +13,7 @@ let side_of_index = function
   | 1 -> East
   | 2 -> South
   | 3 -> West
-  | _ -> invalid_arg "Rrg.side_of_index"
+  | _ -> invalid_arg "Rrg.side_of_index: index outside 0..3"
 
 let all_sides = [ North; East; South; West ]
 
@@ -49,19 +49,19 @@ let n_pins a =
 let hwire_id a ~y ~x ~track =
   let r, c, w, _ = dims a in
   if y < 0 || y > r || x < 0 || x >= c || track < 0 || track >= w then
-    invalid_arg "Rrg.hwire: out of range";
+    invalid_arg "Rrg.hwire_id: out of range";
   (((y * c) + x) * w) + track
 
 let vwire_id a ~x ~y ~track =
   let r, c, w, _ = dims a in
   if x < 0 || x > c || y < 0 || y >= r || track < 0 || track >= w then
-    invalid_arg "Rrg.vwire: out of range";
+    invalid_arg "Rrg.vwire_id: out of range";
   n_hwires a + (((x * r) + y) * w) + track
 
 let pin_id a ~row ~col ~side ~slot =
   let r, c, _, s = dims a in
   if row < 0 || row >= r || col < 0 || col >= c || slot < 0 || slot >= s then
-    invalid_arg "Rrg.pin: out of range";
+    invalid_arg "Rrg.pin_id: out of range";
   n_hwires a + n_vwires a + ((((row * c) + col) * 4 + side_index side) * s) + slot
 
 let hwire t ~y ~x ~track = hwire_id t.arch ~y ~x ~track

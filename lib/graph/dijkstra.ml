@@ -81,7 +81,8 @@ let drain_until r stop =
 (* [what] names the public entry point that needed to resume, so a
    staleness error points at the call that actually tripped it. *)
 let check_resumable st what =
-  if Gstate.version st.g <> st.ver then
+  let ver = Gstate.version st.g in
+  if ver <> st.ver then
     invalid_arg ("Dijkstra." ^ what ^ ": graph mutated since the run started")
 
 let extend_all r =

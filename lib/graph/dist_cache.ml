@@ -48,7 +48,9 @@ let invalidate t =
   drop_all t;
   t.stamp <- Gstate.version t.g
 
-let refresh t = if Gstate.version t.g <> t.stamp then invalidate t
+let refresh t =
+  let ver = Gstate.version t.g in
+  if ver <> t.stamp then invalidate t
 
 let touch t e =
   t.clock <- t.clock + 1;

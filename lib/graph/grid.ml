@@ -33,7 +33,7 @@ let manhattan t a b =
 let find_explicit t u v =
   match Gstate.find_edge t.graph u v with
   | Some e -> e
-  | None -> invalid_arg "Grid: no such edge"
+  | None -> invalid_arg "Grid.find_explicit: no such edge"
 
 let horizontal_edge t ~x ~y =
   let u = node t ~x ~y and v = node t ~x:(x + 1) ~y in

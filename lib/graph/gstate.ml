@@ -55,8 +55,8 @@ let version g = g.ver
 (* ------------------------------------------------------------------ *)
 
 let jpush g entry =
-  if g.jlen = Array.length g.journal then begin
-    let cap = Array.length g.journal in
+  let cap = Array.length g.journal in
+  if g.jlen = cap then begin
     let next = Array.make (if cap = 0 then 64 else 2 * cap) entry in
     Array.blit g.journal 0 next 0 g.jlen;
     g.journal <- next
@@ -85,8 +85,9 @@ let add_weight g e dw = set_weight g e (g.w.(e) +. dw)
 let node_enabled g u = Bitset.get g.n_on u
 
 let set_node g u b =
-  if u < 0 || u >= num_nodes g then invalid_arg "Gstate: node out of range";
-  if Bitset.get g.n_on u <> b then begin
+  if u < 0 || u >= num_nodes g then invalid_arg "Gstate.set_node: node out of range";
+  let cur = Bitset.get g.n_on u in
+  if cur <> b then begin
     record g (Node_on (u, not b));
     Bitset.set g.n_on u b
   end
@@ -98,8 +99,9 @@ let enable_node g u = set_node g u true
 let edge_enabled g e = Bitset.get g.e_on e
 
 let set_edge g e b =
-  if e < 0 || e >= num_edges g then invalid_arg "Gstate: edge out of range";
-  if Bitset.get g.e_on e <> b then begin
+  if e < 0 || e >= num_edges g then invalid_arg "Gstate.set_edge: edge out of range";
+  let cur = Bitset.get g.e_on e in
+  if cur <> b then begin
     record g (Edge_on (e, not b));
     Bitset.set g.e_on e b
   end

@@ -50,7 +50,8 @@ let rec sift_down h i =
   end
 
 let push h prio x =
-  if h.len = Array.length h.prio then grow h;
+  let cap = Array.length h.prio in
+  if h.len = cap then grow h;
   h.prio.(h.len) <- prio;
   h.data.(h.len) <- x;
   h.len <- h.len + 1;

@@ -17,8 +17,8 @@ type t = {
    equal-distance tie-breaking depends on it). *)
 let make ~n ~eu ~ev ~base =
   let m = Array.length eu in
-  if Array.length ev <> m || Array.length base <> m then
-    invalid_arg "Topology.make: endpoint/weight arrays disagree";
+  let mv = Array.length ev and mw = Array.length base in
+  if mv <> m || mw <> m then invalid_arg "Topology.make: endpoint/weight arrays disagree";
   let off = Array.make (n + 1) 0 in
   for e = 0 to m - 1 do
     off.(eu.(e)) <- off.(eu.(e)) + 2;

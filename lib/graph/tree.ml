@@ -6,15 +6,22 @@ let empty = { edges = [] }
 
 let cost g t = List.fold_left (fun acc e -> acc +. Gstate.weight g e) 0. t.edges
 
-let nodes g t =
-  List.concat_map
+(* Distinct nodes touched by the tree, as a hash set: O(edges) to build and
+   O(1) per membership probe, so callers never pay a linear scan. *)
+let node_set g t =
+  let tbl = Hashtbl.create ((2 * List.length t.edges) + 1) in
+  List.iter
     (fun e ->
       let u, v = Gstate.endpoints g e in
-      [ u; v ])
-    t.edges
-  |> List.sort_uniq compare
+      Hashtbl.replace tbl u ();
+      Hashtbl.replace tbl v ())
+    t.edges;
+  tbl
 
-let mem_node g t v = List.mem v (nodes g t)
+let nodes g t =
+  Hashtbl.fold (fun v () acc -> v :: acc) (node_set g t) [] |> List.sort compare
+
+let mem_node g t v = Hashtbl.mem (node_set g t) v
 
 (* Adjacency of the tree as an association table: node -> (edge, nbr, w). *)
 let adjacency g t =
@@ -33,33 +40,39 @@ let adjacency g t =
   tbl
 
 let is_tree g t =
-  match nodes g t with
-  | [] -> true
-  | root :: _ as ns ->
-      let n = List.length ns and m = List.length t.edges in
-      if m <> n - 1 then false
-      else begin
-        (* Acyclicity follows from |E| = |V|-1 + connectivity; check
-           connectivity by traversal. *)
-        let adj = adjacency g t in
-        let seen = Hashtbl.create n in
-        let rec dfs u =
-          if not (Hashtbl.mem seen u) then begin
-            Hashtbl.add seen u ();
-            List.iter (fun (_, v, _) -> dfs v) (try Hashtbl.find adj u with Not_found -> [])
-          end
-        in
-        dfs root;
-        Hashtbl.length seen = n
-      end
+  let ns = node_set g t in
+  let n = Hashtbl.length ns in
+  if n = 0 then true
+  else
+    let m = List.length t.edges in
+    if m <> n - 1 then false
+    else begin
+      (* Acyclicity follows from |E| = |V|-1 + connectivity; check
+         connectivity by traversal. *)
+      let adj = adjacency g t in
+      let seen = Hashtbl.create n in
+      let rec dfs u =
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.add seen u ();
+          List.iter (fun (_, v, _) -> dfs v) (try Hashtbl.find adj u with Not_found -> [])
+        end
+      in
+      (match t.edges with
+      | [] -> ()
+      | e :: _ ->
+          let root, _ = Gstate.endpoints g e in
+          dfs root);
+      let reached = Hashtbl.length seen in
+      reached = n
+    end
 
 let spans g t terminals =
   match (terminals, t.edges) with
   | [], _ -> true
   | [ _ ], [] -> true
   | _ ->
-      let ns = nodes g t in
-      List.for_all (fun x -> List.mem x ns) terminals
+      let ns = node_set g t in
+      List.for_all (fun x -> Hashtbl.mem ns x) terminals
 
 let uses_only_enabled g t =
   List.for_all
@@ -68,10 +81,12 @@ let uses_only_enabled g t =
       Gstate.edge_enabled g e && Gstate.node_enabled g u && Gstate.node_enabled g v)
     t.edges
 
-let path_lengths_from g t ~src =
+(* Shared traversal behind the pathlength API; [what] names the public
+   entry point so a raised Invalid_argument points at the real caller. *)
+let path_table_for g t ~src ~what =
   let adj = adjacency g t in
   if (not (Hashtbl.mem adj src)) && t.edges <> [] then
-    invalid_arg "Tree.path_lengths_from: source not in tree";
+    invalid_arg ("Tree." ^ what ^ ": source not in tree");
   let dist = Hashtbl.create 64 in
   let rec dfs u d =
     Hashtbl.replace dist u d;
@@ -80,20 +95,28 @@ let path_lengths_from g t ~src =
       (try Hashtbl.find adj u with Not_found -> [])
   in
   dfs src 0.;
-  Hashtbl.fold (fun v d acc -> (v, d) :: acc) dist []
+  dist
+
+let path_table g t ~src = path_table_for g t ~src ~what:"path_table"
+
+let path_lengths_from g t ~src =
+  Hashtbl.fold
+    (fun v d acc -> (v, d) :: acc)
+    (path_table_for g t ~src ~what:"path_lengths_from")
+    []
 
 let path_length g t ~src ~dst =
-  let all = path_lengths_from g t ~src in
-  match List.assoc_opt dst all with
+  let all = path_table_for g t ~src ~what:"path_length" in
+  match Hashtbl.find_opt all dst with
   | Some d -> d
   | None -> invalid_arg "Tree.path_length: destination not connected to source in tree"
 
 let max_path_length g t ~src ~sinks =
-  let all = path_lengths_from g t ~src in
+  let all = path_table_for g t ~src ~what:"max_path_length" in
   List.fold_left
     (fun acc s ->
-      match List.assoc_opt s all with
-      | Some d -> max acc d
+      match Hashtbl.find_opt all s with
+      | Some d -> Float.max acc d
       | None -> invalid_arg "Tree.max_path_length: sink not in tree")
     0. sinks
 
@@ -117,7 +140,8 @@ let prune g t ~keep =
           not (is_prunable_leaf u || is_prunable_leaf v))
         edges
     in
-    if List.length edges' = List.length edges then edges else go edges'
+    let kept = List.length edges' and before = List.length edges in
+    if kept = before then edges else go edges'
   in
   { edges = go t.edges }
 

@@ -37,6 +37,10 @@ val path_length : Gstate.t -> t -> src:int -> dst:int -> float
 val path_lengths_from : Gstate.t -> t -> src:int -> (int * float) list
 (** Distances from [src] to every tree node, by tree traversal. *)
 
+val path_table : Gstate.t -> t -> src:int -> (int, float) Hashtbl.t
+(** Hashtable variant of [path_lengths_from] for hot-path per-sink lookups:
+    O(1) per probe instead of a linear scan of the association list. *)
+
 val max_path_length : Gstate.t -> t -> src:int -> sinks:int list -> float
 (** The paper's "maximum source–sink pathlength" metric. *)
 

@@ -24,15 +24,17 @@ let push v x =
   v.data.(v.len) <- x;
   v.len <- v.len + 1
 
-let check v i =
-  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+(* [what] names the public entry point so the Invalid_argument points at
+   the call that actually tripped the bounds check. *)
+let check v i what =
+  if i < 0 || i >= v.len then invalid_arg ("Vec." ^ what ^ ": index out of bounds")
 
 let get v i =
-  check v i;
+  check v i "get";
   v.data.(i)
 
 let set v i x =
-  check v i;
+  check v i "set";
   v.data.(i) <- x
 
 let iter f v =

@@ -1,0 +1,15 @@
+(* Fixture: error-names-entry-point fires on messages that name the wrong
+   module or function, or carry no entry-point prefix at all. *)
+
+let wrong_module () = failwith "Other.f: boom" (* finding *)
+
+let no_prefix n = if n < 0 then invalid_arg "negative input" (* finding *)
+
+let wrong_function () = raise (Invalid_argument "Bad_error.elsewhere: boom") (* finding *)
+
+let correct n = if n < 0 then invalid_arg "Bad_error.correct: negative input"
+
+let outer () =
+  (* inner helpers may name their public caller *)
+  let rec loop n = if n = 0 then failwith "Bad_error.outer: expired" else loop (n - 1) in
+  loop 3

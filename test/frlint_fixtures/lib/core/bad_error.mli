@@ -1,0 +1,7 @@
+(* Fixture interface: present so mli-required stays quiet for this file. *)
+
+val wrong_module : unit -> 'a
+val no_prefix : int -> unit
+val wrong_function : unit -> 'a
+val correct : int -> unit
+val outer : unit -> unit

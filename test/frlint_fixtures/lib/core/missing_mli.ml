@@ -1,0 +1,3 @@
+(* Fixture: a library module with no interface file — mli-required fires. *)
+
+let id x = x

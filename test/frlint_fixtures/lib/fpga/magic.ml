@@ -1,0 +1,9 @@
+(* Fixture: no-obj-magic, no-silent-catch-all, and no-print-in-lib each
+   fire once here. *)
+
+let coerce x = Obj.magic x (* finding: no-obj-magic *)
+
+let swallow f = try f () with _ -> 0 (* finding: no-silent-catch-all *)
+
+let shout x =
+  Printf.printf "%d\n" x (* finding: no-print-in-lib *)

@@ -1,0 +1,5 @@
+(* Fixture interface: present so mli-required stays quiet for this file. *)
+
+val coerce : 'a -> 'b
+val swallow : (unit -> int) -> int
+val shout : int -> unit

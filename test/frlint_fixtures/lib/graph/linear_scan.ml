@@ -1,0 +1,5 @@
+(* Fixture: no-linear-scan must fire twice in this hot-library path. *)
+
+let contains xs x = List.mem x xs
+
+let lookup tbl k = List.assoc_opt k tbl

@@ -1,0 +1,4 @@
+(* Fixture interface: present so mli-required stays quiet for this file. *)
+
+val contains : 'a list -> 'a -> bool
+val lookup : ('a * 'b) list -> 'a -> 'b option

@@ -1,0 +1,12 @@
+(* Fixture: no-polymorphic-compare fires on computed operands, but stays
+   quiet for scalar idents, literals, and pure arithmetic. *)
+
+let same_length a b = List.length a = List.length b (* finding *)
+
+let order a b = compare (List.rev a) (List.rev b) (* finding *)
+
+let fine_ident x y = x = y (* trivial operands: no finding *)
+
+let fine_literal n = n = 0 (* literal operand: no finding *)
+
+let fine_arith n m = n < 0 || m <> n - 1 (* arithmetic is trivial: no finding *)

@@ -1,0 +1,7 @@
+(* Fixture interface: present so mli-required stays quiet for this file. *)
+
+val same_length : 'a list -> 'b list -> bool
+val order : 'a list -> 'a list -> int
+val fine_ident : 'a -> 'a -> bool
+val fine_literal : int -> bool
+val fine_arith : int -> int -> bool

@@ -1,0 +1,3 @@
+(* Fixture: an inline [frlint: allow] comment silences one site only. *)
+
+let contains xs x = List.mem x xs (* frlint: allow no-linear-scan — fixture exercising inline suppression *)

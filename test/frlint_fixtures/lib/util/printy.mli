@@ -1,0 +1,3 @@
+(* Fixture interface: present so mli-required stays quiet for this file. *)
+
+val hello : unit -> unit

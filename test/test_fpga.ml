@@ -74,10 +74,10 @@ let test_rrg_kind_roundtrip () =
 
 let test_rrg_bounds () =
   let rrg = F.Rrg.build (small_arch ()) in
-  Alcotest.check_raises "hwire out of range" (Invalid_argument "Rrg.hwire: out of range")
+  Alcotest.check_raises "hwire out of range" (Invalid_argument "Rrg.hwire_id: out of range")
     (fun () -> ignore (F.Rrg.hwire rrg ~y:6 ~x:0 ~track:0));
-  Alcotest.check_raises "pin out of range" (Invalid_argument "Rrg.pin: out of range") (fun () ->
-      ignore (F.Rrg.pin rrg ~row:4 ~col:0 ~side:F.Rrg.North ~slot:0))
+  Alcotest.check_raises "pin out of range" (Invalid_argument "Rrg.pin_id: out of range")
+    (fun () -> ignore (F.Rrg.pin rrg ~row:4 ~col:0 ~side:F.Rrg.North ~slot:0))
 
 let test_rrg_pin_fanout_fc () =
   (* fc = W on the 4000 series: each pin must reach exactly W wires. *)

@@ -17,8 +17,10 @@ let test_vec_push_get () =
 
 let test_vec_bounds () =
   let v = Vec.of_list [ 1; 2; 3 ] in
-  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec: index out of bounds")
-    (fun () -> ignore (Vec.get v 3))
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Vec.set: index out of bounds")
+    (fun () -> Vec.set v 3 0)
 
 let test_vec_conversions () =
   let v = Vec.of_list [ 3; 1; 4; 1; 5 ] in

@@ -1,0 +1,107 @@
+(* File discovery, parsing, and rule/suppression orchestration. *)
+
+type summary = {
+  findings : Finding.t list;  (* unsuppressed, sorted *)
+  files : int;
+  inline_suppressed : int;
+  allowlisted : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "" || name.[0] = '.' || name = "_build" then acc
+           else walk acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+    path :: acc
+  else acc
+
+(* Parse + AST rules + inline suppression for one file.  Returns
+   (kept findings, inline-suppressed count). *)
+let lint_file path =
+  let source = read_file path in
+  let file = Scope.normalize path in
+  let scope = Scope.classify path in
+  let module_name = Scope.module_name path in
+  let findings =
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf path;
+    match
+      if Filename.check_suffix path ".mli" then begin
+        (* interfaces carry no expressions; parse purely as a syntax check *)
+        ignore (Parse.interface lexbuf);
+        []
+      end
+      else Rules.lint_structure ~scope ~module_name ~file (Parse.implementation lexbuf)
+    with
+    | fs -> fs
+    | exception exn ->
+        [
+          Finding.make ~file ~line:1 ~col:0 ~rule:"syntax-error"
+            ~message:("file does not parse: " ^ Printexc.to_string exn);
+        ]
+  in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  Suppress.filter_inline ~lines findings
+
+(* Filesystem rule: every .ml under lib/ ships a sibling .mli. *)
+let mli_required path =
+  let scope = Scope.classify path in
+  if
+    scope.Scope.in_lib
+    && Filename.check_suffix path ".ml"
+    && not (Sys.file_exists (path ^ "i"))
+  then
+    Some
+      (Finding.make ~file:(Scope.normalize path) ~line:1 ~col:0 ~rule:"mli-required"
+         ~message:
+           "library module has no interface file; add a sibling .mli to pin the public \
+            surface")
+  else None
+
+let run ?allowlist_path ~roots () =
+  let allow, allow_errors =
+    match allowlist_path with
+    | None -> (None, [])
+    | Some p ->
+        let a, errs = Suppress.load p in
+        (Some a, errs)
+  in
+  let files = List.fold_left walk [] roots |> List.sort_uniq compare in
+  let inline = ref 0 in
+  let raw =
+    List.concat_map
+      (fun path ->
+        let kept, n = lint_file path in
+        inline := !inline + n;
+        match mli_required path with Some f -> f :: kept | None -> kept)
+      files
+  in
+  let allowlisted = ref 0 in
+  let kept =
+    match allow with
+    | None -> raw
+    | Some a ->
+        List.filter
+          (fun f ->
+            let hit = Suppress.suppresses a f in
+            if hit then incr allowlisted;
+            not hit)
+          raw
+  in
+  let unused = match allow with None -> [] | Some a -> Suppress.unused_findings a in
+  {
+    findings = List.sort Finding.order (allow_errors @ kept @ unused);
+    files = List.length files;
+    inline_suppressed = !inline;
+    allowlisted = !allowlisted;
+  }

@@ -1,0 +1,53 @@
+(* A single lint diagnostic.  [file] is a normalized, repo-relative path so
+   that allowlist entries written as [lib/util/tab.ml] match no matter which
+   prefix (./, ../.., absolute) the linter was invoked with. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule ~message = { file; line; col; rule; message }
+
+let of_location ~file ~rule ~message (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+let order a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.rule b.rule
+
+let to_string f = Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)

@@ -1,0 +1,52 @@
+(* frlint — project linter for the fpgaroute tree.
+
+   Usage: frlint [--json] [--allowlist FILE] PATH...
+
+   PATHs are files or directories; directories are walked recursively for
+   .ml/.mli sources.  Exit status: 0 when clean, 1 with findings, 2 on
+   usage errors. *)
+
+open Frlint_lib
+
+let usage () =
+  prerr_endline "usage: frlint [--json] [--allowlist FILE] PATH...";
+  exit 2
+
+let () =
+  let json = ref false in
+  let allowlist = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--allowlist" :: file :: rest ->
+        allowlist := Some file;
+        parse rest
+    | "--allowlist" :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | p :: _ when String.length p > 0 && p.[0] = '-' ->
+        Printf.eprintf "frlint: unknown option %s\n" p;
+        usage ()
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) !paths in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "frlint: no such path: %s\n") missing;
+    exit 2
+  end;
+  let summary = Engine.run ?allowlist_path:!allowlist ~roots:(List.rev !paths) () in
+  List.iter
+    (fun f ->
+      print_endline (if !json then Finding.to_json f else Finding.to_string f))
+    summary.Engine.findings;
+  Printf.eprintf "frlint: %d file(s) scanned, %d finding(s), %d inline-suppressed, %d allowlisted\n"
+    summary.Engine.files
+    (List.length summary.Engine.findings)
+    summary.Engine.inline_suppressed summary.Engine.allowlisted;
+  exit (if summary.Engine.findings = [] then 0 else 1)

@@ -1,0 +1,41 @@
+(* Path classification: which rule subsets apply to a file.
+
+   The classification is purely component-based so it works identically on
+   real sources ([lib/graph/tree.ml]), build-dir paths
+   ([../../lib/graph/tree.ml] seen from the @lint rule), and test fixtures
+   that mirror the layout ([test/frlint_fixtures/lib/graph/scan.ml]). *)
+
+type t = {
+  in_lib : bool;  (** under a [lib/] component: library code *)
+  hot : bool;  (** lib/graph, lib/core, lib/fpga: router hot paths *)
+  print_exempt : bool;  (** stdout printing is part of this file's job *)
+}
+
+let hot_libs = [ "graph"; "core"; "fpga" ]
+
+(* Drop "", "." and ".." components: "../../lib/x.ml" and "lib/x.ml" both
+   normalize to "lib/x.ml". *)
+let normalize path =
+  String.split_on_char '/' path
+  |> List.filter (fun c -> c <> "" && c <> "." && c <> "..")
+  |> String.concat "/"
+
+let components path = String.split_on_char '/' (normalize path)
+
+let classify path =
+  let comps = components path in
+  let rec scan in_lib hot experiments = function
+    | [] | [ _ ] -> (in_lib, hot, experiments)
+    | "lib" :: (next :: _ as rest) ->
+        scan true
+          (hot || List.mem next hot_libs)
+          (experiments || next = "experiments")
+          rest
+    | _ :: rest -> scan in_lib hot experiments rest
+  in
+  let in_lib, hot, experiments = scan false false false comps in
+  let base = Filename.basename path in
+  { in_lib; hot; print_exempt = experiments || base = "render.ml" }
+
+let module_name path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))

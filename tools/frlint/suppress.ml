@@ -1,0 +1,133 @@
+(* Suppression mechanisms.
+
+   Inline: a comment containing [frlint: allow <rule-id> — reason] on the
+   offending line (or on the line directly above it, for sites that do not
+   fit on one line) silences that rule for that site only.
+
+   Allowlist: a checked-in file with one entry per line,
+   [<rule-id> <repo-relative-path> <reason...>], silences a rule for a whole
+   file.  Entries must carry a reason, and unused entries are themselves
+   reported (rule [allowlist-unused]) so the burn-down list can only shrink. *)
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Does [line] contain "frlint: allow <rule>" (as a whole token)? *)
+let line_allows line rule =
+  let marker = "frlint: allow" in
+  let mlen = String.length marker and llen = String.length line in
+  let rec token_at i =
+    (* skip spaces after the marker, then read one rule token *)
+    if i < llen && line.[i] = ' ' then token_at (i + 1)
+    else
+      let j = ref i in
+      while !j < llen && is_rule_char line.[!j] do incr j done;
+      String.sub line i (!j - i)
+  in
+  let rec search from =
+    if from + mlen > llen then false
+    else if String.sub line from mlen = marker then
+      token_at (from + mlen) = rule || search (from + 1)
+    else search (from + 1)
+  in
+  search 0
+
+(* Partition [findings] into (kept, inline-suppressed-count) given the
+   source split into lines (1-indexed access). *)
+let filter_inline ~lines findings =
+  let nlines = Array.length lines in
+  let get i = if i >= 1 && i <= nlines then lines.(i - 1) else "" in
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        let hit =
+          line_allows (get f.Finding.line) f.Finding.rule
+          || line_allows (get (f.Finding.line - 1)) f.Finding.rule
+        in
+        if hit then incr suppressed;
+        not hit)
+      findings
+  in
+  (kept, !suppressed)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  rule : string;
+  path : string;  (* normalized *)
+  reason : string;
+  line : int;
+  mutable used : bool;
+}
+
+type t = { file : string; entries : entry list }
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun x -> x <> "")
+
+let load file =
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let errors = ref [] and entries = ref [] in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match split_ws line with
+        | rule :: path :: (_ :: _ as reason) ->
+            entries :=
+              {
+                rule;
+                path = Scope.normalize path;
+                reason = String.concat " " reason;
+                line = lineno;
+                used = false;
+              }
+              :: !entries
+        | _ ->
+            errors :=
+              Finding.make ~file ~line:lineno ~col:0 ~rule:"allowlist-syntax"
+                ~message:
+                  "malformed entry: expected `<rule-id> <path> <reason...>` \
+                   (the reason is mandatory)"
+              :: !errors)
+    (List.rev !lines);
+  ({ file; entries = List.rev !entries }, List.rev !errors)
+
+(* Marks matching entries as used. *)
+let suppresses t (f : Finding.t) =
+  let file = Scope.normalize f.Finding.file in
+  let hit = ref false in
+  List.iter
+    (fun e ->
+      if e.rule = f.Finding.rule && e.path = file then begin
+        e.used <- true;
+        hit := true
+      end)
+    t.entries;
+  !hit
+
+let unused_findings t =
+  List.filter_map
+    (fun e ->
+      if e.used then None
+      else
+        Some
+          (Finding.make ~file:t.file ~line:e.line ~col:0 ~rule:"allowlist-unused"
+             ~message:
+               (Printf.sprintf
+                  "entry `%s %s` matched nothing; delete it to keep the burn-down honest"
+                  e.rule e.path)))
+    t.entries
