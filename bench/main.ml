@@ -26,6 +26,25 @@ let quick = Sys.getenv_opt "REPRO_QUICK" <> None
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
+(* Worker-domain count for the parallel-router section: --domains N wins,
+   then FR_SMOKE_DOMAINS (how CI forces the 4-domain smoke), then 2 — the
+   cheapest count that still exercises the pool on every dev run. *)
+let domains =
+  let rec from_argv = function
+    | "--domains" :: v :: _ -> Some v
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  let v =
+    match from_argv (Array.to_list Sys.argv) with
+    | Some v -> Some v
+    | None -> Sys.getenv_opt "FR_SMOKE_DOMAINS"
+  in
+  match Option.map int_of_string v with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 2
+  | exception Failure _ -> failwith "bad --domains / FR_SMOKE_DOMAINS value"
+
 let section title =
   Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
 
@@ -206,6 +225,108 @@ let settled_nodes_section ~specs ~max_passes ~channel_width () =
   Fr_util.Tab.print t;
   (!all_identical, !any_halved)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel router (1 vs N domains: bit-identity + speedup)            *)
+(* ------------------------------------------------------------------ *)
+
+let route_domains ~config ~channel_width ~domains spec =
+  let circuit = F.Circuits.generate spec in
+  let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width) in
+  let t0 = Unix.gettimeofday () in
+  let r = F.Router.route ~config ~domains rrg circuit in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Everything the batched pipeline promises to keep invariant across
+   domain counts.  The Dijkstra work counters are deliberately absent:
+   per-domain caches shard lookups differently, so runs/settled may vary
+   even though every solve returns the same tree. *)
+let quality_fingerprint (s : F.Router.stats) =
+  ( s.F.Router.passes,
+    s.F.Router.total_wirelength,
+    s.F.Router.total_max_path,
+    s.F.Router.peak_occupancy,
+    s.F.Router.par_batches,
+    s.F.Router.par_conflicts )
+
+(* Wall time for the speedup column: best of [reps] back-to-back routes,
+   which filters scheduler noise without bechamel's full protocol. *)
+let best_time ~reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    let r, s = f () in
+    if s < !best then best := s;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let parallel_section ~specs ~max_passes ~channel_width ~domains ~reps () =
+  section (Printf.sprintf "Parallel router (1 vs %d domains, same trees)" domains);
+  (* Routing solves allocate heavily (per-search arrays, candidate lists),
+     and every minor collection is a stop-the-world sync across domains; a
+     larger minor heap cuts the sync rate and is the standard multicore
+     tuning.  Applied to both sides of the comparison, restored after. *)
+  let gc0 = Gc.get () in
+  Gc.set { gc0 with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  let t =
+    Fr_util.Tab.create
+      ~title:
+        (Printf.sprintf "serial vs parallel routing wave (W=%d, max %d passes, IKMB)"
+           channel_width max_passes)
+      ~header:
+        [ "circuit"; "serial s"; "par s"; "speedup"; "batches"; "conflicts"; "trees" ]
+  in
+  let config = F.Router.config_with ~alg:C.Routing_alg.ikmb ~max_passes () in
+  let all_identical = ref true and worst_speedup = ref infinity in
+  List.iter
+    (fun spec ->
+      let name = spec.F.Circuits.circuit in
+      let serial, serial_s =
+        best_time ~reps (fun () -> route_domains ~config ~channel_width ~domains:1 spec)
+      in
+      let par, par_s =
+        best_time ~reps (fun () -> route_domains ~config ~channel_width ~domains spec)
+      in
+      match (serial, par) with
+      | Ok ss, Ok sp ->
+          let identical =
+            canonical_trees ss = canonical_trees sp
+            && quality_fingerprint ss = quality_fingerprint sp
+          in
+          if not identical then all_identical := false;
+          let speedup = serial_s /. par_s in
+          if speedup < !worst_speedup then worst_speedup := speedup;
+          Fr_util.Tab.add_row t
+            [ name;
+              Printf.sprintf "%.3f" serial_s;
+              Printf.sprintf "%.3f" par_s;
+              Printf.sprintf "%.2fx" speedup;
+              string_of_int sp.F.Router.par_batches;
+              string_of_int sp.F.Router.par_conflicts;
+              (if identical then "identical" else "DIFFER") ]
+      | Error _, Error _ ->
+          Fr_util.Tab.add_row t
+            [ name; Printf.sprintf "%.3f" serial_s; Printf.sprintf "%.3f" par_s; "-"; "-";
+              "-"; "unroutable" ]
+      | _ ->
+          (* One domain count routed and the other did not: the pipeline's
+             determinism guarantee is broken. *)
+          all_identical := false;
+          Fr_util.Tab.add_row t
+            [ name; Printf.sprintf "%.3f" serial_s; Printf.sprintf "%.3f" par_s; "-"; "-";
+              "-"; "DIVERGED" ])
+    specs;
+  Gc.set gc0;
+  Fr_util.Tab.print t;
+  let cores = Domain.recommended_domain_count () in
+  if cores < domains then
+    Printf.printf
+      "(%d hardware core%s available for %d domains: wall-time speedup is not \
+       expected on this machine, only bit-identity)\n%!"
+      cores
+      (if cores = 1 then "" else "s")
+      domains;
+  (!all_identical, !worst_speedup, cores >= domains)
+
 (* Journal-overlay accounting, at each circuit's published minimum channel
    width so rip-up passes actually happen.  The restore work is the journal
    entries undone; the old scheme scanned the full O(V+E) snapshot on every
@@ -269,14 +390,31 @@ let smoke_main () =
     prerr_endline "SMOKE FAIL: targeted mode settled less than 2x fewer nodes";
     exit 1
   end;
+  let par_identical, speedup, enough_cores =
+    parallel_section ~specs ~max_passes:3 ~channel_width:14 ~domains ~reps:2 ()
+  in
+  if not par_identical then begin
+    prerr_endline
+      (Printf.sprintf
+         "SMOKE FAIL: %d-domain route differs from the serial route (trees or stats)"
+         domains);
+    exit 1
+  end;
+  (* Identity is a hard guarantee; wall-time gain depends on the hardware
+     the smoke happens to run on, so a short machine demotes the speedup
+     expectation to a warning instead of flaking. *)
+  if enough_cores && speedup < 1.5 then
+    Printf.printf "smoke WARNING: %d-domain speedup only %.2fx (expected >= 1.5x)\n%!"
+      domains speedup;
   let journal_cheaper = journal_section ~max_passes:20 () in
   if not journal_cheaper then begin
     prerr_endline "SMOKE FAIL: journal restore cost not below full-snapshot scans";
     exit 1
   end;
-  print_endline
-    "smoke OK: trees identical, targeted settles >= 2x fewer nodes, journal restore \
-     work below full-snapshot scans"
+  Printf.printf
+    "smoke OK: trees identical (targeted A/B and %d-domain parallel, %.2fx wall ratio), \
+     targeted settles >= 2x fewer nodes, journal restore work below full-snapshot scans\n%!"
+    domains speedup
 
 (* ------------------------------------------------------------------ *)
 (* Full table / figure regeneration                                    *)
@@ -323,6 +461,11 @@ let () =
     (wall (fun () ->
          settled_nodes_section ~specs:ab_specs ~max_passes:(if quick then 3 else 8)
            ~channel_width:14 ()));
+
+  ignore
+    (wall (fun () ->
+         parallel_section ~specs:ab_specs ~max_passes:(if quick then 3 else 8)
+           ~channel_width:14 ~domains ~reps:(if quick then 2 else 3) ()));
 
   let nets_per_config = if quick then 10 else 50 in
   let max_passes = if quick then 8 else 20 in

@@ -37,15 +37,23 @@ let alg_arg =
 let passes_arg =
   Arg.(value & opt int 20 & info [ "passes" ] ~docv:"N" ~doc:"Maximum rip-up passes.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the speculative batch solves. The routed trees are \
+           bit-identical for every value; only the wall time changes.")
+
 let spec_arg = Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"CIRCUIT")
 
 (* ---------------- route ---------------- *)
 
-let run_route spec width alg passes render =
+let run_route spec width alg passes domains render =
   let circuit = F.Circuits.generate spec in
   let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
   let config = F.Router.config_with ~alg ~max_passes:passes () in
-  match F.Router.route ~config rrg circuit with
+  match F.Router.route ~config ~domains rrg circuit with
   | Ok stats ->
       print_endline (F.Render.summary rrg stats);
       if render then print_endline (F.Render.occupancy_map rrg);
@@ -61,11 +69,11 @@ let route_cmd =
   let render = Arg.(value & flag & info [ "render" ] ~doc:"Print the occupancy map.") in
   Cmd.v
     (Cmd.info "route" ~doc:"Route a benchmark circuit at a fixed channel width")
-    Term.(const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ render)
+    Term.(const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ domains_arg $ render)
 
 (* ---------------- width ---------------- *)
 
-let run_width spec alg passes start =
+let run_width spec alg passes domains start =
   let circuit = F.Circuits.generate spec in
   let config = F.Router.config_with ~alg ~max_passes:passes () in
   let arch_of_width w = F.Circuits.arch_for spec ~channel_width:w in
@@ -75,7 +83,7 @@ let run_width spec alg passes start =
     | None -> (
         match spec.F.Circuits.published.F.Circuits.ours_ikmb with Some w -> w | None -> 10)
   in
-  match F.Router.min_channel_width ~config ~arch_of_width ~circuit ~start () with
+  match F.Router.min_channel_width ~config ~domains ~arch_of_width ~circuit ~start () with
   | Some (w, stats) ->
       Printf.printf "%s: minimum channel width %d with %s (%d passes, wirelength %.0f)\n"
         spec.F.Circuits.circuit w alg.C.Routing_alg.name stats.F.Router.passes
@@ -97,7 +105,7 @@ let width_cmd =
   in
   Cmd.v
     (Cmd.info "width" ~doc:"Find a circuit's minimum routable channel width")
-    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ start)
+    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ domains_arg $ start)
 
 (* ---------------- table ---------------- *)
 
@@ -163,7 +171,7 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Print a benchmark circuit in the textual netlist format")
     Term.(const run_export $ spec_arg)
 
-let run_route_file file width series alg passes render =
+let run_route_file file width series alg passes domains render =
   let read_all path =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -187,7 +195,7 @@ let run_route_file file width series alg passes render =
       in
       let rrg = F.Rrg.build arch in
       let config = F.Router.config_with ~alg ~max_passes:passes () in
-      match F.Router.route ~config rrg circuit with
+      match F.Router.route ~config ~domains rrg circuit with
       | Ok stats ->
           print_endline (F.Render.summary rrg stats);
           if render then print_endline (F.Render.occupancy_map rrg);
@@ -207,7 +215,9 @@ let route_file_cmd =
   let render = Arg.(value & flag & info [ "render" ] ~doc:"Print the occupancy map.") in
   Cmd.v
     (Cmd.info "route-file" ~doc:"Route a circuit from a textual netlist file")
-    Term.(const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ render)
+    Term.(
+      const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ domains_arg
+      $ render)
 
 (* ---------------- circuits ---------------- *)
 

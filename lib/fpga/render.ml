@@ -60,9 +60,15 @@ let net_map rrg tree =
 
 let summary rrg stats =
   let a = rrg.Rrg.arch in
+  let par =
+    if stats.Router.domains = 1 then ""
+    else
+      Printf.sprintf "; %d domains (%d batches, %d conflicts)" stats.Router.domains
+        stats.Router.par_batches stats.Router.par_conflicts
+  in
   Printf.sprintf
     "%s: %d nets routed in %d pass(es); wirelength %.0f wires; max pathlength sum %.1f; peak \
-     channel occupancy %d/%d"
+     channel occupancy %d/%d%s"
     (Arch.describe a) (List.length stats.Router.routed) stats.Router.passes
     stats.Router.total_wirelength stats.Router.total_max_path stats.Router.peak_occupancy
-    a.Arch.channel_width
+    a.Arch.channel_width par

@@ -14,6 +14,7 @@ type config = {
   bbox_margin : float;
   max_candidates : int;
   targeted_dijkstra : bool;
+  par_batch : int;
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     bbox_margin = 3.;
     max_candidates = 2500;
     targeted_dijkstra = true;
+    par_batch = 8;
   }
 
 let config_with ?alg ?max_passes () =
@@ -51,6 +53,9 @@ type stats = {
   mutations : int;
   rollbacks : int;
   journal_depth : int;
+  domains : int;
+  par_batches : int;
+  par_conflicts : int;
 }
 
 type failure = {
@@ -275,45 +280,175 @@ let base_max_path base_w g tree ~net_src ~sinks =
   max_path_of_tree ~weight:(Array.get base_w) g tree ~net_src ~sinks
 
 (* ------------------------------------------------------------------ *)
+(* Wave batching                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The rip-up wave is partitioned into an ordered sequence of batches.  A
+   batch's nets are solved speculatively against the routing state frozen
+   at the batch's start (that is what the parallel path fans out over
+   worker domains), then committed one at a time in wave order; a
+   speculative tree invalidated by an earlier commit of its own batch is
+   re-solved serially on the spot.  The partition, the speculative solves
+   (pure functions of the frozen state) and the serial commit order are
+   all independent of the domain count, which is the determinism argument:
+   [~domains:1] and [~domains:n] run the exact same pipeline and produce
+   bit-identical trees.
+
+   Batches are formed first-fit over the wave order: a net joins the
+   earliest batch whose nets' terminal bounding boxes are all disjoint
+   from its own (capped at [par_batch] nets), else opens a new batch.
+   Disjoint boxes make same-batch nets unlikely to want the same wires, so
+   conflicts stay rare — but the test is purely a throughput heuristic;
+   correctness comes from the commit-time validation. *)
+
+(* Two-pin decomposition claims wires through the live journal while it
+   solves, so those nets cannot run on a frozen view; each one becomes a
+   singleton batch solved serially at commit time — exactly the pre-batch
+   behavior. *)
+let serial_only cfg net =
+  match cfg.strategy with
+  | Tree_alg _ -> false
+  | Two_pin_decomposition -> (
+      match cfg.critical_strategy with Some p -> not (p net) | None -> true)
+
+let boxes_disjoint (ac0, ar0, ac1, ar1) (bc0, br0, bc1, br1) =
+  ac1 < bc0 || bc1 < ac0 || ar1 < br0 || br1 < ar0
+
+type batch = {
+  serial : bool;
+  (* wave-reversed during construction; finalized to wave order *)
+  mutable members : (Netlist.net * (int * int * int * int)) list;
+  mutable size : int;
+}
+
+let partition_wave cfg order =
+  (* [rev_batches] is newest-first; first-fit scans creation order. *)
+  let rev_batches = ref [] in
+  List.iter
+    (fun net ->
+      if serial_only cfg net then
+        rev_batches :=
+          { serial = true; members = [ (net, (0, 0, 0, 0)) ]; size = 1 } :: !rev_batches
+      else begin
+        let box = Netlist.bounding_box net in
+        let fits b =
+          (not b.serial)
+          && b.size < cfg.par_batch
+          && List.for_all (fun (_, b2) -> boxes_disjoint box b2) b.members
+        in
+        match List.find_opt fits (List.rev !rev_batches) with
+        | Some b ->
+            b.members <- (net, box) :: b.members;
+            b.size <- b.size + 1
+        | None ->
+            rev_batches := { serial = false; members = [ (net, box) ]; size = 1 } :: !rev_batches
+      end)
+    order;
+  List.rev_map
+    (fun b ->
+      b.members <- List.rev b.members;
+      b)
+    !rev_batches
+
+(* A speculative tree survives its batch-mates' commits iff every resource
+   it uses is still enabled; weight changes never invalidate it (they only
+   mean a fresh solve might have chosen differently). *)
+let tree_usable g tree =
+  List.for_all
+    (fun e ->
+      G.Gstate.edge_enabled g e
+      &&
+      let u, v = G.Gstate.endpoints g e in
+      G.Gstate.node_enabled g u && G.Gstate.node_enabled g v)
+    tree.G.Tree.edges
+
+(* ------------------------------------------------------------------ *)
 (* Passes                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let route_one_pass pool cfg rrg order base_w =
+(* Worker-domain context: the pool plus, per worker, an RRG view and
+   distance caches of its own.  Caches are never shared across domains
+   (Dist_cache is not thread-safe); the graph views are shared read-only. *)
+type par_ctx = {
+  wpool : Fr_util.Pool.t;
+  wrrg : Rrg.t;
+  dcaches : cache_pool array;
+}
+
+(* Restricted solve first, full-graph retry on failure (unchanged). *)
+let attempt caches cfg rrg net =
+  let go restricted =
+    match solve_net caches cfg rrg net ~restricted with
+    | tree -> Some tree
+    | exception C.Routing_err.Unroutable _ -> None
+  in
+  match go true with Some t -> Some t | None -> go false
+
+let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w =
   let g = rrg.Rrg.graph in
   let routed = ref [] and failed = ref [] in
+  let commit_tree net tree =
+    let cnet = Netlist.rrg_net rrg net in
+    let max_path =
+      base_max_path base_w g tree ~net_src:cnet.C.Net.source ~sinks:cnet.C.Net.sinks
+    in
+    let wires_used = Rrg.wirelength rrg tree in
+    commit cfg rrg net tree;
+    (* The commit just mutated weights/enables; version checks would
+       catch it lazily, but dropping the stale entries here keeps the
+       dependency explicit.  (The per-domain caches go stale the same
+       way and drop their entries on their next versioned lookup.) *)
+    pool_invalidate caches;
+    routed := { net; tree; wires_used; max_path } :: !routed
+  in
+  let land_result net = function
+    | None ->
+        (* Failed against the frozen state on the *full* graph.  Commits
+           only disable resources within a pass, so the live state offers
+           a subset of the frozen one — no point re-solving. *)
+        failed := net.Netlist.net_name :: !failed
+    | Some tree ->
+        if tree_usable g tree then commit_tree net tree
+        else begin
+          (* A batch-mate committed first and took one of this tree's
+             wires: re-solve against the live state, serially. *)
+          incr par_conflicts;
+          match attempt caches cfg rrg net with
+          | Some tree -> commit_tree net tree
+          | None -> failed := net.Netlist.net_name :: !failed
+        end
+  in
   List.iter
-    (fun net ->
-      let attempt restricted =
-        match solve_net pool cfg rrg net ~restricted with
-        | tree -> Some tree
-        | exception C.Routing_err.Unroutable _ -> None
-      in
-      match (match attempt true with Some t -> Some t | None -> attempt false) with
-      | None -> failed := net.Netlist.net_name :: !failed
-      | Some tree ->
-          let cnet = Netlist.rrg_net rrg net in
-          let max_path =
-            base_max_path base_w g tree ~net_src:cnet.C.Net.source ~sinks:cnet.C.Net.sinks
-          in
-          let wires_used = Rrg.wirelength rrg tree in
-          commit cfg rrg net tree;
-          (* The commit just mutated weights/enables; version checks would
-             catch it lazily, but dropping the stale entries here keeps the
-             dependency explicit. *)
-          pool_invalidate pool;
-          routed := { net; tree; wires_used; max_path } :: !routed)
-    order;
+    (fun b ->
+      if b.serial then
+        List.iter (fun (net, _) -> land_result net (attempt caches cfg rrg net)) b.members
+      else begin
+        let members = Array.of_list b.members in
+        let count = Array.length members in
+        if count >= 2 then incr par_batches;
+        let solved =
+          match par with
+          | Some ctx when count >= 2 ->
+              Fr_util.Pool.map ctx.wpool ~count (fun ~worker i ->
+                  attempt ctx.dcaches.(worker) cfg ctx.wrrg (fst members.(i)))
+          | _ -> Array.map (fun (net, _) -> attempt caches cfg rrg net) members
+        in
+        Array.iteri (fun i r -> land_result (fst members.(i)) r) solved
+      end)
+    (partition_wave cfg order);
   (List.rev !routed, List.rev !failed)
 
 let peak_occupancy rrg =
   List.fold_left (fun acc seg -> Int.max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
 
-let route ?(config = default_config) rrg circuit =
+let route ?(config = default_config) ?(domains = 1) rrg circuit =
   (match Netlist.validate circuit with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Router.route: " ^ msg));
   if circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
   then invalid_arg "Router.route: circuit does not fit architecture";
+  if domains < 1 then invalid_arg "Router.route: domains must be >= 1";
+  if config.par_batch < 1 then invalid_arg "Router.route: par_batch must be >= 1";
   let g = rrg.Rrg.graph in
   (* Entry weights, for measuring committed trees in pre-congestion units. *)
   let base_w = Array.init (G.Gstate.num_edges g) (G.Gstate.weight g) in
@@ -321,14 +456,44 @@ let route ?(config = default_config) rrg circuit =
      mark — O(entries the pass wrote), not O(V+E). *)
   let cp = G.Gstate.checkpoint g in
   let mut0 = G.Gstate.mutations g and rb0 = G.Gstate.rollbacks g in
-  let pool = make_pool config g in
+  let caches = make_pool config g in
+  (* The worker pool outlives every pass: spawning domains costs more than
+     routing a batch, so it is paid once per [route] call. *)
+  let par =
+    if domains = 1 then None
+    else
+      let wrrg = Rrg.read_only_view rrg in
+      Some
+        {
+          wpool = Fr_util.Pool.create ~domains ();
+          wrrg;
+          dcaches = Array.init domains (fun _ -> make_pool config wrrg.Rrg.graph);
+        }
+  in
+  let finally () = match par with Some ctx -> Fr_util.Pool.shutdown ctx.wpool | None -> () in
+  Fun.protect ~finally @@ fun () ->
+  let par_batches = ref 0 and par_conflicts = ref 0 in
+  let all_runs () =
+    pool_runs caches
+    + match par with
+      | None -> 0
+      | Some ctx -> Array.fold_left (fun a p -> a + pool_runs p) 0 ctx.dcaches
+  in
+  let all_settled () =
+    pool_settled caches
+    + match par with
+      | None -> 0
+      | Some ctx -> Array.fold_left (fun a p -> a + pool_settled p) 0 ctx.dcaches
+  in
   (* Early cutoff: if the number of failing nets has not improved for
      [stall_limit] consecutive passes, the width is hopeless — declaring
      failure early saves most of the downward-infeasible probes. *)
   let stall_limit = 6 in
   let rec passes order n ~best ~stalled =
     G.Gstate.rollback g cp;
-    let routed, failed = route_one_pass pool config rrg order base_w in
+    let routed, failed =
+      route_one_pass ~par ~par_batches ~par_conflicts caches config rrg order base_w
+    in
     if failed = [] then begin
       (* Keep the final pass's state (useful for rendering): accept its
          mutations instead of undoing them. *)
@@ -340,11 +505,14 @@ let route ?(config = default_config) rrg circuit =
           total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
           total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
           peak_occupancy = peak_occupancy rrg;
-          dijkstra_runs = pool_runs pool;
-          settled_nodes = pool_settled pool;
+          dijkstra_runs = all_runs ();
+          settled_nodes = all_settled ();
           mutations = G.Gstate.mutations g - mut0;
           rollbacks = G.Gstate.rollbacks g - rb0;
           journal_depth = G.Gstate.peak_journal_depth g;
+          domains;
+          par_batches = !par_batches;
+          par_conflicts = !par_conflicts;
         }
     end
     else begin
@@ -359,11 +527,12 @@ let route ?(config = default_config) rrg circuit =
   in
   passes (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
 
-let min_channel_width ?(config = default_config) ~arch_of_width ~circuit ~start ?max_width () =
+let min_channel_width ?(config = default_config) ?(domains = 1) ~arch_of_width ~circuit
+    ~start ?max_width () =
   let max_width = match max_width with Some m -> m | None -> start + 15 in
   let try_width w =
     let rrg = Rrg.build (arch_of_width w) in
-    match route ~config rrg circuit with Ok stats -> Some stats | Error _ -> None
+    match route ~config ~domains rrg circuit with Ok stats -> Some stats | Error _ -> None
   in
   (* Feasibility is monotone in the channel width, so the answer is found by
      bisecting between the last failing and the first succeeding width —

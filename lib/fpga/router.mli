@@ -12,7 +12,21 @@
 
     Steiner-candidate scans are pruned to the net's bounding box plus
     [bbox_margin] blocks; if a net fails under pruning it is retried on the
-    full graph before being counted as failed. *)
+    full graph before being counted as failed.
+
+    {b Batched waves and parallelism.}  Each pass partitions its wave,
+    first-fit in wave order, into batches of nets with pairwise-disjoint
+    terminal bounding boxes (at most [par_batch] nets per batch).  A
+    batch's nets are solved speculatively against the state frozen at the
+    batch's start, then committed serially in wave order; a speculative
+    tree that lost a wire to an earlier commit of its own batch is
+    re-solved on the spot against the live state (counted in
+    [par_conflicts]).  [route ~domains:n] fans the speculative solves of
+    each batch out over [n] domains holding read-only graph views and
+    per-domain distance caches; because those solves are pure functions of
+    the frozen state and everything else is serial and order-fixed, the
+    routed result is bit-identical for every [domains] value — only the
+    wall time and the Dijkstra work counters change. *)
 
 type strategy =
   | Tree_alg of Fr_core.Routing_alg.t
@@ -42,6 +56,9 @@ type config = {
           [false] forces every search to settle its whole (restricted)
           graph — the pre-targeting behavior, kept for A/B benchmarking.
           Routed trees are identical either way; only the work differs. *)
+  par_batch : int;
+      (** cap on nets per speculative batch (default 8); [1] disables
+          batching — every net solves against the live state serially *)
 }
 
 val default_config : config
@@ -75,6 +92,13 @@ type stats = {
   journal_depth : int;
       (** peak undo-journal depth — the per-pass restore cost, to compare
           against the O(V+E) full-graph snapshot scans it replaced *)
+  domains : int;  (** domain count this route ran with *)
+  par_batches : int;
+      (** multi-net speculative batches formed across all passes — the
+          parallelism actually available in the waves *)
+  par_conflicts : int;
+      (** speculative trees invalidated by a batch-mate's commit and
+          re-solved serially *)
 }
 
 type failure = {
@@ -95,16 +119,23 @@ val max_path_of_tree :
     @raise Invalid_argument if some sink is not spanned by the tree —
     silently skipping it would under-report pathlength. *)
 
-val route : ?config:config -> Rrg.t -> Netlist.circuit -> (stats, failure) result
+val route :
+  ?config:config -> ?domains:int -> Rrg.t -> Netlist.circuit -> (stats, failure) result
 (** Routes the whole circuit.  The RRG is left in the final pass's state
     (useful for rendering); a journal checkpoint is taken at entry and each
     rip-up pass rolls back to it in time proportional to the entries the
     previous pass wrote ({!Fr_graph.Gstate.rollback}), not O(V+E).
+
+    [domains] (default 1) is the number of domains speculative batch
+    solves run on; the routed trees and all quality stats are identical
+    for every value (see the batching note above).  Worker domains are
+    spawned once per call and shut down before returning.
     @raise Invalid_argument when the circuit does not fit the RRG or does
-    not validate. *)
+    not validate, or when [domains < 1]. *)
 
 val min_channel_width :
   ?config:config ->
+  ?domains:int ->
   arch_of_width:(int -> Arch.t) ->
   circuit:Netlist.circuit ->
   start:int ->

@@ -214,3 +214,5 @@ let build ?(jog_penalty = 0.) arch =
     done
   done;
   { arch; graph = G.Gstate.of_builder g }
+
+let read_only_view t = { t with graph = G.Gstate.read_only_view t.graph }

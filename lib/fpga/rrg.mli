@@ -80,3 +80,8 @@ val segment_occupancy : t -> seg -> int
 val wirelength : t -> Fr_graph.Tree.t -> float
 (** Number of wire nodes a routed tree occupies (the paper's wirelength on
     FPGAs). *)
+
+val read_only_view : t -> t
+(** The same RRG over {!Fr_graph.Gstate.read_only_view} of its graph: what
+    the parallel router hands to worker domains so speculative solves can
+    read the live routing state but any attempted mutation raises. *)

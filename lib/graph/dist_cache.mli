@@ -21,7 +21,18 @@
       kept; inserting past the bound evicts the least-recently-used source.
 
     Hit/miss/eviction/settled-node counters expose the layer's behavior to
-    benchmarks and tests. *)
+    benchmarks and tests.
+
+    {b Thread-safety audit} (for the parallel router).  A cache is {e not}
+    thread-safe: lookups mutate the LRU table and clock, and resuming a
+    memoized {!Dijkstra.result} refines its arrays in place.  The parallel
+    router therefore gives each worker domain its own cache over a shared
+    {!Gstate.read_only_view}; within one cache all mutation is owner-local,
+    and the underlying graph is only read, so concurrent waves are race-free.
+    Cache state never changes {e results}: a hit resumes the same search a
+    miss would start, and settled prefixes of a Dijkstra run are final, so
+    per-domain caches with different contents still return bit-identical
+    distances and paths. *)
 
 type t
 

@@ -9,11 +9,11 @@ type undo =
   | Node_on of int * bool
   | Edge_on of int * bool
 
-type t = {
-  topo : Topology.t;
-  w : float array;
-  n_on : Bitset.t;
-  e_on : Bitset.t;
+(* Version counter, journal and lifetime counters live in a [meta] record
+   shared between a state and every read-only view of it, so a view sees
+   exactly the parent's version history: a Dist_cache built over a view
+   goes stale the moment the parent mutates, and vice versa. *)
+type meta = {
   mutable ver : int;
   mutable journal : undo array;
   mutable jlen : int;
@@ -23,14 +23,19 @@ type t = {
   mutable peak_depth : int;
 }
 
+type t = {
+  topo : Topology.t;
+  w : float array;
+  n_on : Bitset.t;
+  e_on : Bitset.t;
+  meta : meta;
+  read_only : bool;
+}
+
 type checkpoint = int
 
-let of_topology topo =
+let fresh_meta () =
   {
-    topo;
-    w = Array.copy topo.Topology.base;
-    n_on = Bitset.create (Topology.num_nodes topo);
-    e_on = Bitset.create (Topology.num_edges topo);
     ver = 0;
     journal = [||];
     jlen = 0;
@@ -38,6 +43,16 @@ let of_topology topo =
     rollbacks = 0;
     undone = 0;
     peak_depth = 0;
+  }
+
+let of_topology topo =
+  {
+    topo;
+    w = Array.copy topo.Topology.base;
+    n_on = Bitset.create (Topology.num_nodes topo);
+    e_on = Bitset.create (Topology.num_edges topo);
+    meta = fresh_meta ();
+    read_only = false;
   }
 
 let of_builder b = of_topology (Wgraph.freeze b)
@@ -48,31 +63,42 @@ let num_nodes g = Topology.num_nodes g.topo
 
 let num_edges g = Topology.num_edges g.topo
 
-let version g = g.ver
+let version g = g.meta.ver
+
+let read_only_view g = { g with read_only = true }
+
+let is_read_only g = g.read_only
+
+(* Mutators check this first: a view shares the parent's arrays, so writing
+   through one would be an unjournaled mutation of the parent — exactly the
+   bug class views exist to turn into an exception. *)
+let guard g what = if g.read_only then invalid_arg ("Gstate." ^ what ^ ": read-only view")
 
 (* ------------------------------------------------------------------ *)
 (* Journaled mutation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let jpush g entry =
-  let cap = Array.length g.journal in
-  if g.jlen = cap then begin
+let jpush m entry =
+  let cap = Array.length m.journal in
+  if m.jlen = cap then begin
     let next = Array.make (if cap = 0 then 64 else 2 * cap) entry in
-    Array.blit g.journal 0 next 0 g.jlen;
-    g.journal <- next
+    Array.blit m.journal 0 next 0 m.jlen;
+    m.journal <- next
   end;
-  g.journal.(g.jlen) <- entry;
-  g.jlen <- g.jlen + 1;
-  if g.jlen > g.peak_depth then g.peak_depth <- g.jlen
+  m.journal.(m.jlen) <- entry;
+  m.jlen <- m.jlen + 1;
+  if m.jlen > m.peak_depth then m.peak_depth <- m.jlen
 
 let record g entry =
-  jpush g entry;
-  g.ver <- g.ver + 1;
-  g.mutations <- g.mutations + 1
+  let m = g.meta in
+  jpush m entry;
+  m.ver <- m.ver + 1;
+  m.mutations <- m.mutations + 1
 
 let weight g e = g.w.(e)
 
 let set_weight g e w =
+  guard g "set_weight";
   if w < 0. then invalid_arg "Gstate.set_weight: negative weight";
   let old = g.w.(e) in
   if old <> w then begin
@@ -85,6 +111,7 @@ let add_weight g e dw = set_weight g e (g.w.(e) +. dw)
 let node_enabled g u = Bitset.get g.n_on u
 
 let set_node g u b =
+  guard g "set_node";
   if u < 0 || u >= num_nodes g then invalid_arg "Gstate.set_node: node out of range";
   let cur = Bitset.get g.n_on u in
   if cur <> b then begin
@@ -99,6 +126,7 @@ let enable_node g u = set_node g u true
 let edge_enabled g e = Bitset.get g.e_on e
 
 let set_edge g e b =
+  guard g "set_edge";
   if e < 0 || e >= num_edges g then invalid_arg "Gstate.set_edge: edge out of range";
   let cur = Bitset.get g.e_on e in
   if cur <> b then begin
@@ -114,35 +142,39 @@ let enable_edge g e = set_edge g e true
 (* Checkpoint / rollback                                               *)
 (* ------------------------------------------------------------------ *)
 
-let checkpoint g = g.jlen
+let checkpoint g = g.meta.jlen
 
-let journal_depth g = g.jlen
+let journal_depth g = g.meta.jlen
 
 let rollback g cp =
-  if cp < 0 || cp > g.jlen then invalid_arg "Gstate.rollback: invalid checkpoint";
-  let changed = g.jlen > cp in
-  while g.jlen > cp do
-    g.jlen <- g.jlen - 1;
-    (match g.journal.(g.jlen) with
+  guard g "rollback";
+  let m = g.meta in
+  if cp < 0 || cp > m.jlen then invalid_arg "Gstate.rollback: invalid checkpoint";
+  let changed = m.jlen > cp in
+  while m.jlen > cp do
+    m.jlen <- m.jlen - 1;
+    (match m.journal.(m.jlen) with
     | Weight (e, w) -> g.w.(e) <- w
     | Node_on (u, b) -> Bitset.set g.n_on u b
     | Edge_on (e, b) -> Bitset.set g.e_on e b);
-    g.undone <- g.undone + 1
+    m.undone <- m.undone + 1
   done;
-  g.rollbacks <- g.rollbacks + 1;
-  if changed then g.ver <- g.ver + 1
+  m.rollbacks <- m.rollbacks + 1;
+  if changed then m.ver <- m.ver + 1
 
 let commit g cp =
-  if cp < 0 || cp > g.jlen then invalid_arg "Gstate.commit: invalid checkpoint";
-  g.jlen <- cp
+  guard g "commit";
+  let m = g.meta in
+  if cp < 0 || cp > m.jlen then invalid_arg "Gstate.commit: invalid checkpoint";
+  m.jlen <- cp
 
-let mutations g = g.mutations
+let mutations g = g.meta.mutations
 
-let rollbacks g = g.rollbacks
+let rollbacks g = g.meta.rollbacks
 
-let rollback_entries g = g.undone
+let rollback_entries g = g.meta.undone
 
-let peak_journal_depth g = g.peak_depth
+let peak_journal_depth g = g.meta.peak_depth
 
 (* ------------------------------------------------------------------ *)
 (* Traversal                                                           *)
@@ -207,13 +239,8 @@ let copy g =
     w = Array.copy g.w;
     n_on = Bitset.copy g.n_on;
     e_on = Bitset.copy g.e_on;
-    ver = 0;
-    journal = [||];
-    jlen = 0;
-    mutations = 0;
-    rollbacks = 0;
-    undone = 0;
-    peak_depth = 0;
+    meta = fresh_meta ();
+    read_only = false;
   }
 
 (* Hot-loop escape hatches: Dijkstra reads these arrays directly. *)

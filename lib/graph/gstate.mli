@@ -18,7 +18,16 @@
 
     The reader API mirrors the old mutable [Wgraph] one, so call sites
     migrate by renaming [Wgraph.foo g] to [Gstate.foo g] and freezing
-    builders with {!of_builder}. *)
+    builders with {!of_builder}.
+
+    {b Read-only views and parallelism.}  {!read_only_view} aliases a
+    state — same arrays, same version counter, same journal — but every
+    mutator raises.  This is the aliasing contract the parallel router is
+    built on: worker domains hold views and can only read, so a routing
+    wave whose solves run concurrently over views is free of data races
+    {e provided the owning state is not mutated while the wave is in
+    flight}.  The version counter is shared, so a {!Dist_cache} built over
+    a view still detects the parent's mutations between waves. *)
 
 type t
 
@@ -91,7 +100,16 @@ val mean_edge_weight : t -> float
 
 val copy : t -> t
 (** Independent state sharing the same topology; version and journal start
-    fresh. *)
+    fresh.  Copying a read-only view yields a fresh {e mutable} state. *)
+
+val read_only_view : t -> t
+(** A view sharing this state's arrays, version and journal.  Reads through
+    the view see the parent's current state; {!set_weight}, {!add_weight},
+    {!set_node}, {!set_edge}, the enable/disable wrappers, {!rollback} and
+    {!commit} all raise [Invalid_argument].  {!checkpoint} is permitted
+    (it only reads the journal position). *)
+
+val is_read_only : t -> bool
 
 (** {2 Checkpoint / rollback} *)
 

@@ -1,0 +1,158 @@
+(* A fixed pool of worker domains, reused across waves.
+
+   One wave = one [run]/[map] call.  Workers park on [wake] between waves
+   and re-arm off a generation counter, so a pool created once at router
+   entry amortizes domain spawn cost over every batch of every pass.  Work
+   distribution is an atomic cursor over the index space: claiming is
+   wait-free, and the chunk size bounds how uneven job costs can skew the
+   split.  The caller is worker 0 and works its own share of the wave
+   rather than blocking, so [domains = n] means n executing domains, not
+   n + 1. *)
+
+type wave = {
+  job : worker:int -> int -> unit;
+  count : int;
+  cursor : int Atomic.t;
+  abort : bool Atomic.t;  (* set on first failure: stop claiming chunks *)
+  (* Smallest-index failure among jobs that ran; guarded by the pool mutex. *)
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+  mutable live : int;  (* spawned workers still inside this wave *)
+}
+
+type t = {
+  domains : int;
+  chunk : int;
+  m : Mutex.t;
+  wake : Condition.t;  (* workers: a new wave (or stop) is available *)
+  finished : Condition.t;  (* caller: all spawned workers left the wave *)
+  mutable wave : wave option;
+  mutable gen : int;  (* bumped per wave; workers re-arm on change *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable shut : bool;
+}
+
+(* Run jobs until the cursor passes [count] or a failure aborts the wave.
+   Indices inside an already-claimed chunk still run after an abort; only
+   new claims stop.  Per-job exceptions are recorded, not propagated, so
+   one domain's failure cannot leave another's chunk half-done. *)
+let work t ~worker w =
+  let rec loop () =
+    if not (Atomic.get w.abort) then begin
+      let lo = Atomic.fetch_and_add w.cursor t.chunk in
+      if lo < w.count then begin
+        let hi = Int.min w.count (lo + t.chunk) in
+        for i = lo to hi - 1 do
+          try w.job ~worker i
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Atomic.set w.abort true;
+            Mutex.lock t.m;
+            (match w.failed with
+            | Some (j, _, _) when j <= i -> ()
+            | _ -> w.failed <- Some (i, e, bt));
+            Mutex.unlock t.m
+        done;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let rec worker_loop t ~worker last_gen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.gen = last_gen do
+    Condition.wait t.wake t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let gen = t.gen in
+    let w = match t.wave with Some w -> w | None -> assert false in
+    Mutex.unlock t.m;
+    work t ~worker w;
+    Mutex.lock t.m;
+    w.live <- w.live - 1;
+    if w.live = 0 then Condition.broadcast t.finished;
+    Mutex.unlock t.m;
+    worker_loop t ~worker gen
+  end
+
+let create ?(chunk = 1) ~domains () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.create: chunk must be >= 1";
+  let t =
+    {
+      domains;
+      chunk;
+      m = Mutex.create ();
+      wake = Condition.create ();
+      finished = Condition.create ();
+      wave = None;
+      gen = 0;
+      stop = false;
+      workers = [];
+      shut = false;
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t ~worker:(k + 1) 0));
+  t
+
+let size t = t.domains
+
+let run t ~count f =
+  if t.shut then invalid_arg "Pool.run: pool is shut down";
+  if count < 0 then invalid_arg "Pool.run: negative count";
+  if count = 0 then ()
+  else if t.domains = 1 then
+    (* Inline fast path: same job order a 1-worker wave would use, without
+       touching the mutex or condition variables. *)
+    for i = 0 to count - 1 do
+      f ~worker:0 i
+    done
+  else begin
+    let w =
+      {
+        job = f;
+        count;
+        cursor = Atomic.make 0;
+        abort = Atomic.make false;
+        failed = None;
+        live = t.domains - 1;
+      }
+    in
+    Mutex.lock t.m;
+    t.wave <- Some w;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    work t ~worker:0 w;
+    Mutex.lock t.m;
+    while w.live > 0 do
+      Condition.wait t.finished t.m
+    done;
+    t.wave <- None;
+    let failed = w.failed in
+    Mutex.unlock t.m;
+    match failed with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map t ~count f =
+  let out = Array.make count None in
+  run t ~count (fun ~worker i -> out.(i) <- Some (f ~worker i));
+  (* [run] returned normally, so every index executed and filled its slot. *)
+  Array.map (function Some v -> v | None -> assert false) out
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

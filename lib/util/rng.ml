@@ -49,3 +49,10 @@ let sample_distinct t k n =
     shuffle t a;
     Array.to_list (Array.sub a 0 k)
   end
+
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative stream index";
+  (* Consumes one draw from the parent, so derivation order matters; the
+     mix constants keep child 0 from replaying the parent's stream. *)
+  let base = Random.State.bits t in
+  Random.State.make [| base; i; 0x6c078965; base lxor (i * 0x9e3779b9) |]

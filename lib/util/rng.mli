@@ -31,3 +31,9 @@ val choose : t -> 'a array -> 'a
 val sample_distinct : t -> int -> int -> int list
 (** [sample_distinct t k n] is [k] distinct integers drawn uniformly from
     [\[0, n)].  Requires [k <= n]. *)
+
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child generator, for giving each worker
+    domain its own deterministic stream.  Consumes one value from the
+    parent, so derive children in a fixed order (e.g. [Array.init n (split t)]).
+    @raise Invalid_argument if [i < 0]. *)

@@ -1,0 +1,8 @@
+(* Fixture: the global PRNG is forbidden in hot library code; explicit
+   Random.State (Fr_util.Rng) threading is the sanctioned form. *)
+
+let bad_pick n = Random.int n
+let bad_jitter x = x +. Stdlib.Random.float 1.0
+
+(* Explicit-state randomness must NOT fire the rule. *)
+let good_pick st n = Random.State.int st n

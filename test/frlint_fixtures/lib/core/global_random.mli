@@ -1,0 +1,3 @@
+val bad_pick : int -> int
+val bad_jitter : float -> float
+val good_pick : Random.State.t -> int -> int

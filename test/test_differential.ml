@@ -1,0 +1,110 @@
+(* Differential suite: every heuristic vs the exact Steiner reference on a
+   bed of seeded random graphs.
+
+   For ~50 seeded Random_graph instances each construction must return a
+   structurally valid tree (Eval.check) and stay within its paper bound
+   against the Dreyfus–Wagner optimum:
+
+     - KMB / IKMB   <= 2(1 - 1/k) * OPT   (Kou–Markowsky–Berman bound,
+                                           k = terminal count >= leaf count)
+     - ZEL / IZEL   <= 11/6 * OPT         (Zelikovsky's bound)
+     - IKMB <= KMB, IZEL <= ZEL           (iteration never hurts)
+     - DOM / PFA / IDOM                   arborescences (optimal pathlength
+                                           to every sink, Eval.metrics)
+     - every Steiner tree >= OPT          (the reference really is a lower
+                                           bound) *)
+
+module G = Fr_graph
+module C = Fr_core
+module Rng = Fr_util.Rng
+
+let eps = 1e-6
+let seeds = List.init 50 (fun i -> 7100 + i)
+
+(* Small enough that Exact (O(3^k n)) stays fast, large enough that the
+   heuristics face nontrivial Steiner structure. *)
+let instance seed =
+  let rng = Rng.make seed in
+  let n = 15 + Rng.int rng 16 in
+  let m = (2 * n) + Rng.int rng n in
+  let g = G.Random_graph.connected rng ~n ~m ~wmin:0.5 ~wmax:4. in
+  let k = 4 + Rng.int rng 2 in
+  let net = C.Net.of_terminals (G.Random_graph.random_net rng g ~k) in
+  (g, net)
+
+let solve_cost cache net alg =
+  let tree = alg.C.Routing_alg.solve cache ~net in
+  (match C.Eval.check cache ~net ~tree with
+  | Ok () -> ()
+  | Error msg ->
+      Alcotest.failf "%s returned an invalid tree: %s" alg.C.Routing_alg.name msg);
+  let m = C.Eval.metrics cache ~net ~tree in
+  (match alg.C.Routing_alg.kind with
+  | C.Routing_alg.Arborescence ->
+      if not m.C.Eval.arborescence then
+        Alcotest.failf "%s is not an arborescence (max_path %.6f vs opt %.6f)"
+          alg.C.Routing_alg.name m.C.Eval.max_path m.C.Eval.opt_max_path
+  | C.Routing_alg.Steiner -> ());
+  m.C.Eval.cost
+
+let check_bound ~seed ~name ~ratio ~opt cost =
+  if cost > (ratio *. opt) +. eps then
+    Alcotest.failf "seed %d: %s cost %.6f exceeds %.4f * OPT (%.6f)" seed name
+      cost ratio opt;
+  if cost < opt -. eps then
+    Alcotest.failf "seed %d: %s cost %.6f beats the exact optimum %.6f" seed
+      name cost opt
+
+let test_one seed =
+  let g, net = instance seed in
+  let cache = G.Dist_cache.create g in
+  let terminals = C.Net.terminals net in
+  let opt = C.Exact.steiner_cost g ~terminals in
+  let k = float_of_int (List.length terminals) in
+  let kmb_ratio = 2. *. (1. -. (1. /. k)) in
+  let cost name = solve_cost cache net (Option.get (C.Routing_alg.by_name name)) in
+  let kmb = cost "KMB" and ikmb = cost "IKMB" in
+  let zel = cost "ZEL" and izel = cost "IZEL" in
+  check_bound ~seed ~name:"KMB" ~ratio:kmb_ratio ~opt kmb;
+  check_bound ~seed ~name:"IKMB" ~ratio:kmb_ratio ~opt ikmb;
+  check_bound ~seed ~name:"ZEL" ~ratio:(11. /. 6.) ~opt zel;
+  check_bound ~seed ~name:"IZEL" ~ratio:(11. /. 6.) ~opt izel;
+  if ikmb > kmb +. eps then
+    Alcotest.failf "seed %d: IKMB (%.6f) worse than KMB (%.6f)" seed ikmb kmb;
+  if izel > zel +. eps then
+    Alcotest.failf "seed %d: IZEL (%.6f) worse than ZEL (%.6f)" seed izel zel;
+  (* Arborescence validity + structural checks for DOM/PFA/IDOM run inside
+     solve_cost; their wirelength has no OPT-relative guarantee. *)
+  List.iter
+    (fun name -> ignore (cost name))
+    [ "DOM"; "PFA"; "IDOM" ]
+
+let test_differential () = List.iter test_one seeds
+
+(* The exact reference itself must produce a valid spanning tree. *)
+let test_exact_is_valid () =
+  List.iter
+    (fun seed ->
+      let g, net = instance seed in
+      let terminals = C.Net.terminals net in
+      let tree = C.Exact.steiner g ~terminals in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: exact tree is a tree" seed)
+        true (G.Tree.is_tree g tree);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: exact tree spans" seed)
+        true
+        (G.Tree.spans g tree terminals))
+    [ 7100; 7111; 7122; 7133; 7144 ]
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "heuristics-vs-exact",
+        [
+          Alcotest.test_case "50 seeded graphs, all algorithms in bounds" `Slow
+            test_differential;
+          Alcotest.test_case "exact reference validity" `Quick
+            test_exact_is_valid;
+        ] );
+    ]

@@ -22,6 +22,8 @@ let expected_fixture_findings =
     ("bad_error.ml", "error-names-entry-point");
     ("bad_error.ml", "error-names-entry-point");
     ("bad_error.ml", "error-names-entry-point");
+    ("global_random.ml", "no-global-mutable-random");
+    ("global_random.ml", "no-global-mutable-random");
     ("linear_scan.ml", "no-linear-scan");
     ("linear_scan.ml", "no-linear-scan");
     ("magic.ml", "no-obj-magic");
@@ -50,6 +52,7 @@ let test_every_rule_fires () =
       "no-obj-magic";
       "no-silent-catch-all";
       "no-print-in-lib";
+      "no-global-mutable-random";
       "mli-required";
     ]
 

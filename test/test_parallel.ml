@@ -1,0 +1,207 @@
+(* Properties of the parallel routing layer: the domain work-pool, the
+   read-only graph views it hands to workers, and the router's
+   bit-for-bit determinism across domain counts. *)
+
+module G = Fr_graph
+module F = Fr_fpga
+module P = Fr_util.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_each_job_once () =
+  List.iter
+    (fun domains ->
+      let pool = P.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool)
+        (fun () ->
+          Alcotest.(check int) "size" domains (P.size pool);
+          let n = 1000 in
+          (* Each index is claimed by exactly one worker, so a plain
+             increment per index is race-free; any double execution shows
+             up as a count <> 1. *)
+          let counts = Array.make n 0 in
+          let workers_seen = Array.make domains false in
+          P.run pool ~count:n (fun ~worker i ->
+              counts.(i) <- counts.(i) + 1;
+              workers_seen.(worker) <- true);
+          Array.iteri
+            (fun i c ->
+              if c <> 1 then Alcotest.failf "job %d ran %d times (domains=%d)" i c domains)
+            counts;
+          Alcotest.(check bool)
+            "worker 0 (the caller) participated" true workers_seen.(0))
+        )
+    [ 1; 2; 4 ]
+
+let test_pool_map_in_order () =
+  let pool = P.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let out = P.map pool ~count:100 (fun ~worker:_ i -> i * i) in
+      Alcotest.(check int) "length" 100 (Array.length out);
+      Array.iteri (fun i v -> Alcotest.(check int) "slot" (i * i) v) out)
+
+let test_pool_exception_surfaces () =
+  List.iter
+    (fun domains ->
+      let pool = P.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool)
+        (fun () ->
+          Alcotest.check_raises "job exception re-raised" (Failure "boom 17")
+            (fun () ->
+              P.run pool ~count:50 (fun ~worker:_ i ->
+                  if i = 17 then failwith "boom 17"));
+          (* The pool survives a failed wave and keeps working. *)
+          let ran = Array.make 20 0 in
+          P.run pool ~count:20 (fun ~worker:_ i -> ran.(i) <- ran.(i) + 1);
+          Alcotest.(check bool)
+            "usable after a raising wave" true
+            (Array.for_all (( = ) 1) ran))
+        )
+    [ 1; 4 ]
+
+let test_pool_reuse_across_waves () =
+  let pool = P.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      for wave = 1 to 5 do
+        let n = 37 * wave in
+        let out = P.map pool ~count:n (fun ~worker:_ i -> i + wave) in
+        Array.iteri (fun i v -> Alcotest.(check int) "reused wave" (i + wave) v) out
+      done)
+
+let test_pool_shutdown () =
+  let pool = P.create ~domains:2 () in
+  P.shutdown pool;
+  P.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      P.run pool ~count:1 (fun ~worker:_ _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Read-only Gstate views                                             *)
+(* ------------------------------------------------------------------ *)
+
+let view_fixture () =
+  let b = G.Wgraph.create 3 in
+  let e01 = G.Wgraph.add_edge b 0 1 1. in
+  let e12 = G.Wgraph.add_edge b 1 2 2. in
+  let g = G.Gstate.of_builder b in
+  (g, G.Gstate.read_only_view g, e01, e12)
+
+let test_view_reads () =
+  let g, v, e01, _ = view_fixture () in
+  Alcotest.(check bool) "base is writable" false (G.Gstate.is_read_only g);
+  Alcotest.(check bool) "view is read-only" true (G.Gstate.is_read_only v);
+  Alcotest.(check (float 1e-9)) "weights visible" 1. (G.Gstate.weight v e01);
+  Alcotest.(check int) "version shared" (G.Gstate.version g) (G.Gstate.version v)
+
+let test_view_mutators_raise () =
+  let _, v, e01, _ = view_fixture () in
+  let raises what f =
+    Alcotest.check_raises what (Invalid_argument ("Gstate." ^ what ^ ": read-only view")) f
+  in
+  raises "set_weight" (fun () -> G.Gstate.set_weight v e01 9.);
+  raises "set_edge" (fun () -> G.Gstate.disable_edge v e01);
+  raises "set_node" (fun () -> G.Gstate.disable_node v 0);
+  let cp = G.Gstate.checkpoint v in
+  raises "rollback" (fun () -> G.Gstate.rollback v cp);
+  raises "commit" (fun () -> G.Gstate.commit v cp)
+
+let test_view_sees_base_mutations () =
+  (* The view shares the base state's version counter, so caches keyed on
+     a view still notice mutations made through the base handle. *)
+  let g, v, e01, _ = view_fixture () in
+  let cache = G.Dist_cache.create v in
+  Alcotest.(check (float 1e-9)) "before" 1. (G.Dist_cache.dist cache ~src:0 ~dst:1);
+  G.Gstate.set_weight g e01 5.;
+  Alcotest.(check bool)
+    "version bump visible through the view" true
+    (G.Gstate.version v = G.Gstate.version g);
+  Alcotest.(check (float 1e-9))
+    "stale cache recomputes" 5.
+    (G.Dist_cache.dist cache ~src:0 ~dst:1)
+
+(* ------------------------------------------------------------------ *)
+(* Router determinism across domain counts                            *)
+(* ------------------------------------------------------------------ *)
+
+let route_with_domains spec ~domains =
+  let config = F.Router.config_with ~alg:Fr_core.Routing_alg.ikmb ~max_passes:3 () in
+  let circuit = F.Circuits.generate spec in
+  let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:14) in
+  match F.Router.route ~config ~domains rrg circuit with
+  | Ok stats -> stats
+  | Error f ->
+      Alcotest.failf "%s failed to route at W=14 with %d domains (%d passes)"
+        spec.F.Circuits.circuit domains f.F.Router.passes_tried
+
+let canonical_trees stats =
+  List.map
+    (fun r ->
+      (r.F.Router.net.F.Netlist.net_name, List.sort compare r.F.Router.tree.G.Tree.edges))
+    stats.F.Router.routed
+  |> List.sort compare
+
+(* Everything quality-related must match; the Dijkstra work counters
+   legitimately differ (per-domain caches shard the shared cache). *)
+let quality stats =
+  ( stats.F.Router.passes,
+    stats.F.Router.total_wirelength,
+    stats.F.Router.total_max_path,
+    stats.F.Router.peak_occupancy,
+    stats.F.Router.par_batches,
+    stats.F.Router.par_conflicts )
+
+let test_determinism_across_domains () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (F.Circuits.find_spec name) in
+      let serial = route_with_domains spec ~domains:1 in
+      Alcotest.(check bool)
+        (name ^ ": waves actually batch") true
+        (serial.F.Router.par_batches > 0);
+      List.iter
+        (fun domains ->
+          let par = route_with_domains spec ~domains in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: stats record %d domains" name domains)
+            domains par.F.Router.domains;
+          if canonical_trees par <> canonical_trees serial then
+            Alcotest.failf "%s: %d-domain trees differ from serial" name domains;
+          if quality par <> quality serial then
+            Alcotest.failf "%s: %d-domain quality stats differ from serial" name
+              domains)
+        [ 2; 4 ])
+    [ "term1"; "apex7" ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "each job runs exactly once" `Quick test_pool_each_job_once;
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_in_order;
+          Alcotest.test_case "job exceptions surface" `Quick test_pool_exception_surfaces;
+          Alcotest.test_case "pool reused across waves" `Quick test_pool_reuse_across_waves;
+          Alcotest.test_case "shutdown semantics" `Quick test_pool_shutdown;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "reads work, flag set" `Quick test_view_reads;
+          Alcotest.test_case "mutators raise" `Quick test_view_mutators_raise;
+          Alcotest.test_case "base mutations visible" `Quick test_view_sees_base_mutations;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "domains 1/2/4 route identically" `Slow
+            test_determinism_across_domains;
+        ] );
+    ]

@@ -53,6 +53,16 @@ let check_ident ctx loc (lid : Longident.t) =
       if ctx.scope.Scope.in_lib && not ctx.scope.Scope.print_exempt then
         add ctx loc "no-print-in-lib"
           "printf writes to stdout from library code; return data and print in bin/ or bench/"
+  | Ldot (Lident "Random", fn) | Ldot (Ldot (Lident "Stdlib", "Random"), fn) ->
+      (* Random.State.* arrives as Ldot (Ldot (Lident "Random", "State"), _)
+         and so never matches here — explicit-state randomness is exactly
+         what this rule steers code toward. *)
+      if ctx.scope.Scope.hot then
+        add ctx loc "no-global-mutable-random"
+          (Printf.sprintf
+             "Random.%s uses the global PRNG state, which is shared across domains and \
+              breaks seeded reproducibility; thread a Random.State (Fr_util.Rng) instead"
+             fn)
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
