@@ -327,6 +327,163 @@ let parallel_section ~specs ~max_passes ~channel_width ~domains ~reps () =
       domains;
   (!all_identical, !worst_speedup, cores >= domains)
 
+(* ------------------------------------------------------------------ *)
+(* Negotiated congestion A/B (waves vs negotiated) + BENCH_pr6.json    *)
+(* ------------------------------------------------------------------ *)
+
+(* Negotiated convergence means the routed trees are pairwise
+   node-disjoint — the zero-overuse certificate, checked here from the
+   outside rather than trusted from the router. *)
+let trees_disjoint g stats =
+  let seen = Hashtbl.create 4096 in
+  List.for_all
+    (fun r ->
+      List.for_all
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.replace seen v ();
+            true
+          end)
+        (G.Tree.nodes g r.F.Router.tree))
+    stats.F.Router.routed
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One mode's measurements at a fixed width, as both a table row and a
+   machine-readable JSON object. *)
+let mode_json ~stats ~wall_s extras =
+  let fields =
+    [
+      ("iterations", string_of_int stats.F.Router.passes);
+      ("wirelength", Printf.sprintf "%.1f" stats.F.Router.total_wirelength);
+      ("max_path", Printf.sprintf "%.1f" stats.F.Router.total_max_path);
+      ("settled_nodes", string_of_int stats.F.Router.settled_nodes);
+      ("wall_s", Printf.sprintf "%.3f" wall_s);
+    ]
+    @ extras
+  in
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields) ^ "}"
+
+let write_bench_json ~path ~circuits_json =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\"bench\": \"pr6_negotiated_ab\", \"domains\": %d, \"quick\": %b, \"circuits\": [%s]}\n"
+    domains quick
+    (String.concat ", " circuits_json);
+  close_out oc;
+  Printf.printf "(wrote %s)\n%!" path
+
+(* The A/B runs at each circuit's published (= batched-wave) minimum
+   width: negotiated converging there is exactly the "channel width <= the
+   waves router's" claim, without paying for a second bisection sweep on
+   every smoke.  [sweep] adds the real per-mode minimum-width search (full
+   bench only). *)
+let negotiated_section ~specs ~domains ~sweep () =
+  section "Negotiated congestion A/B (waves vs PathFinder pricing, same circuits)";
+  let t =
+    Fr_util.Tab.create ~title:"waves vs negotiated at the waves minimum width"
+      ~header:
+        [ "circuit"; "mode"; "W"; "iters"; "wirelength"; "max path"; "settled"; "wall s";
+          "checks" ]
+  in
+  let all_ok = ref true in
+  let circuits_json = ref [] in
+  List.iter
+    (fun spec ->
+      let name = spec.F.Circuits.circuit in
+      let width = Option.get spec.F.Circuits.published.F.Circuits.ours_ikmb in
+      let waves_cfg = F.Router.config_with ~alg:C.Routing_alg.ikmb () in
+      let neg_cfg = F.Router.config_with ~alg:C.Routing_alg.ikmb ~mode:F.Router.Negotiated () in
+      let route_mode config d =
+        let circuit = F.Circuits.generate spec in
+        let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
+        let t0 = Unix.gettimeofday () in
+        let r = F.Router.route ~config ~domains:d rrg circuit in
+        (rrg, r, Unix.gettimeofday () -. t0)
+      in
+      let _, waves_r, waves_s = route_mode waves_cfg 1 in
+      let neg_rrg, neg_r, neg_s = route_mode neg_cfg 1 in
+      let _, neg_par_r, _ = route_mode neg_cfg domains in
+      match (waves_r, neg_r, neg_par_r) with
+      | Ok ws, Ok ns, Ok nps ->
+          let disjoint = trees_disjoint neg_rrg.F.Rrg.graph ns in
+          let par_identical = canonical_trees ns = canonical_trees nps in
+          if not (disjoint && par_identical) then all_ok := false;
+          let sweep_result config =
+            if not sweep then None
+            else
+              F.Router.min_channel_width ~config
+                ~arch_of_width:(fun w -> F.Circuits.arch_for spec ~channel_width:w)
+                ~circuit:(F.Circuits.generate spec) ~start:width ()
+          in
+          let min_w_waves = sweep_result waves_cfg and min_w_neg = sweep_result neg_cfg in
+          let min_note label = function
+            | Some (w, _) -> Printf.sprintf "; min W %d (%s)" w label
+            | None -> ""
+          in
+          Fr_util.Tab.add_row t
+            [ name; "waves"; string_of_int width; string_of_int ws.F.Router.passes;
+              Printf.sprintf "%.0f" ws.F.Router.total_wirelength;
+              Printf.sprintf "%.0f" ws.F.Router.total_max_path;
+              string_of_int ws.F.Router.settled_nodes;
+              Printf.sprintf "%.3f" waves_s;
+              "baseline" ^ min_note "waves" min_w_waves ];
+          Fr_util.Tab.add_row t
+            [ name; "negotiated"; string_of_int width; string_of_int ns.F.Router.passes;
+              Printf.sprintf "%.0f" ns.F.Router.total_wirelength;
+              Printf.sprintf "%.0f" ns.F.Router.total_max_path;
+              string_of_int ns.F.Router.settled_nodes;
+              Printf.sprintf "%.3f" neg_s;
+              (if disjoint then "disjoint" else "OVERUSED")
+              ^ (if par_identical then Printf.sprintf "; domains 1=%d" domains
+                 else "; domains DIFFER")
+              ^ min_note "neg" min_w_neg ];
+          let sweep_json = function
+            | Some (w, _) -> [ ("min_width", string_of_int w) ]
+            | None -> []
+          in
+          circuits_json :=
+            Printf.sprintf
+              "{\"circuit\": \"%s\", \"width\": %d, \"waves\": %s, \"negotiated\": %s}"
+              (json_escape name) width
+              (mode_json ~stats:ws ~wall_s:waves_s (sweep_json min_w_waves))
+              (mode_json ~stats:ns ~wall_s:neg_s
+                 ([
+                    ("overuse_free", string_of_bool disjoint);
+                    ( Printf.sprintf "identical_domains_1_vs_%d" domains,
+                      string_of_bool par_identical );
+                  ]
+                 @ sweep_json min_w_neg))
+            :: !circuits_json
+      | _ ->
+          all_ok := false;
+          let show label = function
+            | Ok _ -> ()
+            | Error f ->
+                Fr_util.Tab.add_row t
+                  [ name; label; string_of_int width;
+                    string_of_int f.F.Router.passes_tried; "-"; "-"; "-"; "-"; "FAILED" ]
+          in
+          show "waves" waves_r;
+          show "negotiated" neg_r;
+          show "negotiated/par" neg_par_r)
+    specs;
+  Fr_util.Tab.print t;
+  write_bench_json ~path:"BENCH_pr6.json" ~circuits_json:(List.rev !circuits_json);
+  !all_ok
+
 (* Journal-overlay accounting, at each circuit's published minimum channel
    width so rip-up passes actually happen.  The restore work is the journal
    entries undone; the old scheme scanned the full O(V+E) snapshot on every
@@ -411,9 +568,17 @@ let smoke_main () =
     prerr_endline "SMOKE FAIL: journal restore cost not below full-snapshot scans";
     exit 1
   end;
+  let neg_ok = negotiated_section ~specs ~domains ~sweep:false () in
+  if not neg_ok then begin
+    prerr_endline
+      "SMOKE FAIL: negotiated mode broke a guarantee (convergence at the waves width, \
+       tree disjointness, or cross-domain identity)";
+    exit 1
+  end;
   Printf.printf
     "smoke OK: trees identical (targeted A/B and %d-domain parallel, %.2fx wall ratio), \
-     targeted settles >= 2x fewer nodes, journal restore work below full-snapshot scans\n%!"
+     targeted settles >= 2x fewer nodes, journal restore work below full-snapshot scans, \
+     negotiated mode converges overuse-free at the waves widths\n%!"
     domains speedup
 
 (* ------------------------------------------------------------------ *)
@@ -466,6 +631,11 @@ let () =
     (wall (fun () ->
          parallel_section ~specs:ab_specs ~max_passes:(if quick then 3 else 8)
            ~channel_width:14 ~domains ~reps:(if quick then 2 else 3) ()));
+
+  let neg_specs =
+    List.map (fun c -> Option.get (F.Circuits.find_spec c)) [ "term1"; "apex7" ]
+  in
+  ignore (wall (fun () -> negotiated_section ~specs:neg_specs ~domains ~sweep:(not quick) ()));
 
   let nets_per_config = if quick then 10 else 50 in
   let max_passes = if quick then 8 else 20 in

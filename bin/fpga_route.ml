@@ -45,14 +45,25 @@ let domains_arg =
           "Worker domains for the speculative batch solves. The routed trees are \
            bit-identical for every value; only the wall time changes.")
 
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("waves", F.Router.Waves); ("negotiated", F.Router.Negotiated) ]) F.Router.Waves
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Routing mode: $(b,waves) (rip-up passes over speculative batches, the default) or \
+           $(b,negotiated) (PathFinder-style negotiated congestion — all nets route every \
+           iteration against shared resources priced by overuse). Both modes are \
+           bit-identical across $(b,--domains).")
+
 let spec_arg = Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"CIRCUIT")
 
 (* ---------------- route ---------------- *)
 
-let run_route spec width alg passes domains render =
+let run_route spec width alg passes mode domains render =
   let circuit = F.Circuits.generate spec in
   let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
-  let config = F.Router.config_with ~alg ~max_passes:passes () in
+  let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
   match F.Router.route ~config ~domains rrg circuit with
   | Ok stats ->
       print_endline (F.Render.summary rrg stats);
@@ -69,13 +80,14 @@ let route_cmd =
   let render = Arg.(value & flag & info [ "render" ] ~doc:"Print the occupancy map.") in
   Cmd.v
     (Cmd.info "route" ~doc:"Route a benchmark circuit at a fixed channel width")
-    Term.(const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ domains_arg $ render)
+    Term.(
+      const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ mode_arg $ domains_arg $ render)
 
 (* ---------------- width ---------------- *)
 
-let run_width spec alg passes domains start =
+let run_width spec alg passes mode domains start =
   let circuit = F.Circuits.generate spec in
-  let config = F.Router.config_with ~alg ~max_passes:passes () in
+  let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
   let arch_of_width w = F.Circuits.arch_for spec ~channel_width:w in
   let start =
     match start with
@@ -105,7 +117,7 @@ let width_cmd =
   in
   Cmd.v
     (Cmd.info "width" ~doc:"Find a circuit's minimum routable channel width")
-    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ domains_arg $ start)
+    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ mode_arg $ domains_arg $ start)
 
 (* ---------------- table ---------------- *)
 
@@ -171,7 +183,7 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Print a benchmark circuit in the textual netlist format")
     Term.(const run_export $ spec_arg)
 
-let run_route_file file width series alg passes domains render =
+let run_route_file file width series alg passes mode domains render =
   let read_all path =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -194,7 +206,7 @@ let run_route_file file width series alg passes domains render =
               ~channel_width:width
       in
       let rrg = F.Rrg.build arch in
-      let config = F.Router.config_with ~alg ~max_passes:passes () in
+      let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
       match F.Router.route ~config ~domains rrg circuit with
       | Ok stats ->
           print_endline (F.Render.summary rrg stats);
@@ -216,8 +228,8 @@ let route_file_cmd =
   Cmd.v
     (Cmd.info "route-file" ~doc:"Route a circuit from a textual netlist file")
     Term.(
-      const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ domains_arg
-      $ render)
+      const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ mode_arg
+      $ domains_arg $ render)
 
 (* ---------------- circuits ---------------- *)
 

@@ -25,7 +25,7 @@ let max_dom ?(allowed = fun _ -> true) ?candidates cache ~source ~p ~q =
         let rq = G.Dist_cache.result cache ~src:q in
         (None, rsrc, rp, rq)
     | Some cs ->
-        let scan = List.sort_uniq compare (source :: cs) in
+        let scan = List.sort_uniq Int.compare (source :: cs) in
         let targets = p :: q :: scan in
         let rsrc = G.Dist_cache.result_for cache ~src:source ~targets in
         let rp = G.Dist_cache.result_for cache ~src:p ~targets in
@@ -89,7 +89,7 @@ let nearest_dominated cache ~source ~members ~p =
 
 let fold_tree cache ~source ~members ~keep =
   let g = G.Dist_cache.graph cache in
-  let members = List.sort_uniq compare members in
+  let members = List.sort_uniq Int.compare members in
   let rsrc = G.Dist_cache.result_for cache ~src:source ~targets:members in
   List.iter
     (fun m -> if not (G.Dijkstra.reachable rsrc m) then Routing_err.fail "fold_tree")

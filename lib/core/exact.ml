@@ -9,7 +9,7 @@ type choice =
   | Walk of int * int  (** reached from node u over edge e *)
 
 let steiner g ~terminals =
-  let ts = Array.of_list (List.sort_uniq compare terminals) in
+  let ts = Array.of_list (List.sort_uniq Int.compare terminals) in
   let k = Array.length ts in
   if k > max_terminals then invalid_arg "Exact.steiner: too many terminals";
   if k <= 1 then G.Tree.empty

@@ -70,7 +70,7 @@ let quick_scan cache ~members ~candidates =
         if c < base -. improvement_eps then Some (t, c) else None)
       candidates
   in
-  List.sort (fun (_, a) (_, b) -> compare a b) scored
+  List.sort (fun (_, a) (_, b) -> Float.compare a b) scored
 
 (* The Fig 5 loop, returning the accepted Steiner set S.
 
@@ -82,7 +82,7 @@ let quick_scan cache ~members ~candidates =
    instances need <= 3 rounds, matching the paper's observation. *)
 let grow ?(batched = false) ?candidates h cache ~terminals =
   let g = G.Dist_cache.graph cache in
-  let terminals = List.sort_uniq compare terminals in
+  let terminals = List.sort_uniq Int.compare terminals in
   if List.length terminals <= 2 then begin
     (* A single source-sink pair: the shortest path is already optimal, no
        Steiner node can improve it. *)

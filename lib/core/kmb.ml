@@ -2,7 +2,7 @@ module G = Fr_graph
 
 let solve cache ~terminals =
   let g = G.Dist_cache.graph cache in
-  let ts = Array.of_list (List.sort_uniq compare terminals) in
+  let ts = Array.of_list (List.sort_uniq Int.compare terminals) in
   let k = Array.length ts in
   if k <= 1 then G.Tree.empty
   else begin
@@ -13,7 +13,7 @@ let solve cache ~terminals =
     (* 3. Expand each distance-graph edge into a shortest path of G. *)
     let expanded =
       List.concat_map (fun (i, j) -> G.Dist_cache.path_edges_sym cache ts.(i) ts.(j)) mst_edges
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     (* 4. MST of the expanded subgraph. *)
     let sub_edges =

@@ -43,7 +43,7 @@ let path_to_owner g parent_edge u =
   up u []
 
 let solve g ~terminals =
-  let ts = List.sort_uniq compare terminals in
+  let ts = List.sort_uniq Int.compare terminals in
   match ts with
   | [] | [ _ ] -> G.Tree.empty
   | _ ->
@@ -73,7 +73,7 @@ let solve g ~terminals =
             let u, v = G.Gstate.endpoints g e in
             (e :: path_to_owner g parent_edge u) @ path_to_owner g parent_edge v)
           chosen
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       let sub_edges =
         List.map

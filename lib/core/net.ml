@@ -6,7 +6,7 @@ type t = {
 let make ~source ~sinks =
   if source < 0 || List.exists (fun s -> s < 0) sinks then
     invalid_arg "Net.make: negative node id";
-  let sinks = List.sort_uniq compare (List.filter (fun s -> s <> source) sinks) in
+  let sinks = List.sort_uniq Int.compare (List.filter (fun s -> s <> source) sinks) in
   { source; sinks }
 
 let of_terminals = function

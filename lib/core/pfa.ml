@@ -13,7 +13,7 @@ let fold_members ?steiner_ok ?steiner_candidates cache ~net =
     | None -> fun _ -> true
     | Some ok -> fun m -> m = source || ok m
   in
-  let active = ref (List.sort_uniq compare (Net.terminals net)) in
+  let active = ref (List.sort_uniq Int.compare (Net.terminals net)) in
   (* [members] keeps the paper's accumulation order (merge points prepended
      to the sorted terminals); [member_set] makes the dedup probe O(1). *)
   let member_set = Hashtbl.create 16 in
@@ -40,7 +40,7 @@ let fold_members ?steiner_ok ?steiner_candidates cache ~net =
     match !best with
     | None -> Routing_err.fail "PFA"
     | Some (p, q, m, _) ->
-        active := List.sort_uniq compare (m :: List.filter (fun x -> x <> p && x <> q) !active);
+        active := List.sort_uniq Int.compare (m :: List.filter (fun x -> x <> p && x <> q) !active);
         if not (Hashtbl.mem member_set m) then begin
           Hashtbl.replace member_set m ();
           members := m :: !members

@@ -14,7 +14,7 @@ let refresh_memo memo version =
   end
 
 let sorted_triple a b c =
-  let l = List.sort compare [ a; b; c ] in
+  let l = List.sort Int.compare [ a; b; c ] in
   match l with [ x; y; z ] -> (x, y, z) | _ -> assert false
 
 (* Best Steiner point for a triple: the v minimizing the sum of
@@ -33,7 +33,7 @@ let steiner_point_of_triple cache ~steiner_ok ~candidates a b c =
           G.Dist_cache.result cache ~src:b,
           G.Dist_cache.result cache ~src:c )
     | Some cs ->
-        let scan = List.sort_uniq compare cs in
+        let scan = List.sort_uniq Int.compare cs in
         ( Some scan,
           G.Dist_cache.result_for cache ~src:a ~targets:scan,
           G.Dist_cache.result_for cache ~src:b ~targets:scan,
@@ -71,7 +71,7 @@ let triple_info ?memo cache ~steiner_ok ~candidates a b c =
           info)
 
 let solve ?memo ?(steiner_ok = fun _ -> true) ?steiner_candidates cache ~terminals =
-  let ts = Array.of_list (List.sort_uniq compare terminals) in
+  let ts = Array.of_list (List.sort_uniq Int.compare terminals) in
   let k = Array.length ts in
   if k <= 2 then Kmb.solve cache ~terminals
   else begin

@@ -18,11 +18,23 @@ type circuit = {
   nets : net list;
 }
 
+(* Typed total order on pin references (row, col, side, slot), so pin
+   dedup never falls back to polymorphic compare. *)
+let compare_pin a b =
+  let c = Int.compare a.row b.row in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.col b.col in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Rrg.side_index a.side) (Rrg.side_index b.side) in
+      if c <> 0 then c else Int.compare a.slot b.slot
+
 let make_net ~name ~source ~sinks =
   if sinks = [] then invalid_arg "Netlist.make_net: no sinks";
   let all = source :: sinks in
   let n_all = List.length all in
-  let n_distinct = List.length (List.sort_uniq compare all) in
+  let n_distinct = List.length (List.sort_uniq compare_pin all) in
   if n_distinct <> n_all then invalid_arg "Netlist.make_net: duplicate pins";
   { net_name = name; source; sinks }
 

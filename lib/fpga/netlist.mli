@@ -25,6 +25,9 @@ type circuit = {
   nets : net list;
 }
 
+val compare_pin : pin_ref -> pin_ref -> int
+(** Typed total order on pin references: row, then column, side, slot. *)
+
 val make_net : name:string -> source:pin_ref -> sinks:pin_ref list -> net
 (** @raise Invalid_argument on an empty sink list or duplicate pins. *)
 

@@ -5,8 +5,13 @@ type strategy =
   | Tree_alg of C.Routing_alg.t
   | Two_pin_decomposition
 
+type mode =
+  | Waves
+  | Negotiated
+
 type config = {
   strategy : strategy;
+  mode : mode;
   critical_strategy : (Netlist.net -> bool) option;
   critical_alg : C.Routing_alg.t;
   max_passes : int;
@@ -15,11 +20,17 @@ type config = {
   max_candidates : int;
   targeted_dijkstra : bool;
   par_batch : int;
+  neg_max_iterations : int;
+  neg_stall_limit : int;
+  neg_present_factor : float;
+  neg_present_growth : float;
+  neg_history_factor : float;
 }
 
 let default_config =
   {
     strategy = Tree_alg C.Routing_alg.ikmb;
+    mode = Waves;
     critical_strategy = None;
     critical_alg = C.Routing_alg.idom;
     max_passes = 20;
@@ -28,11 +39,17 @@ let default_config =
     max_candidates = 2500;
     targeted_dijkstra = true;
     par_batch = 8;
+    neg_max_iterations = 64;
+    neg_stall_limit = 12;
+    neg_present_factor = 0.5;
+    neg_present_growth = 1.3;
+    neg_history_factor = 0.4;
   }
 
-let config_with ?alg ?max_passes () =
+let config_with ?alg ?max_passes ?mode () =
   let cfg = default_config in
   let cfg = match alg with Some a -> { cfg with strategy = Tree_alg a } | None -> cfg in
+  let cfg = match mode with Some m -> { cfg with mode = m } | None -> cfg in
   match max_passes with Some p -> { cfg with max_passes = p } | None -> cfg
 
 type routed_net = {
@@ -163,7 +180,11 @@ let candidates_for rrg cfg pred =
   done;
   if !count <= cfg.max_candidates then !acc
   else begin
-    let stride = 1 + (!count / cfg.max_candidates) in
+    (* ceil(count/cap): the smallest stride whose kept count
+       (ceil(count/stride)) still fits the budget.  The previous
+       [1 + count/cap] overshoots the stride by one and keeps up to ~2x
+       fewer candidates than the cap allows. *)
+    let stride = (!count + cfg.max_candidates - 1) / cfg.max_candidates in
     List.filteri (fun i _ -> i mod stride = 0) !acc
   end
 
@@ -220,7 +241,8 @@ let commit cfg rrg net tree =
   let w = rrg.Rrg.arch.Arch.channel_width in
   let used_nodes = G.Tree.nodes g tree in
   let touched_segments =
-    List.filter_map (fun v -> Rrg.segment_of_node rrg v) used_nodes |> List.sort_uniq compare
+    List.filter_map (fun v -> Rrg.segment_of_node rrg v) used_nodes
+    |> List.sort_uniq Rrg.compare_seg
   in
   (* Disable consumed wires and the net's own pins. *)
   List.iter (fun v -> if Rrg.is_wire rrg v then G.Gstate.disable_node g v) used_nodes;
@@ -258,13 +280,23 @@ let max_path_of_tree ~weight g tree ~net_src ~sinks =
       add v (u, weight e))
     tree.G.Tree.edges;
   let dist = Hashtbl.create 64 in
-  let rec dfs u d =
-    Hashtbl.replace dist u d;
-    List.iter
-      (fun (v, w) -> if not (Hashtbl.mem dist v) then dfs v (d +. w))
-      (try Hashtbl.find adj u with Not_found -> [])
-  in
-  dfs net_src 0.;
+  (* Explicit DFS stack: a routed tree can be path-shaped and hundreds of
+     thousands of nodes deep at ROADMAP-scale circuits, far past what the
+     native call stack survives. *)
+  let stack = ref [ (net_src, 0.) ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (u, d) :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem dist u) then begin
+          Hashtbl.replace dist u d;
+          List.iter
+            (fun (v, w) -> if not (Hashtbl.mem dist v) then stack := (v, d +. w) :: !stack)
+            (try Hashtbl.find adj u with Not_found -> [])
+        end
+  done;
   List.fold_left
     (fun acc s ->
       match Hashtbl.find_opt dist s with
@@ -438,6 +470,49 @@ let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w 
     (partition_wave cfg order);
   (List.rev !routed, List.rev !failed)
 
+(* ------------------------------------------------------------------ *)
+(* Negotiated congestion (PathFinder / Lagrangian pricing)             *)
+(* ------------------------------------------------------------------ *)
+
+(* One negotiated iteration: every net solves independently against the
+   epoch's frozen priced graph — resources are shared and over-subscribable,
+   so there is no disjointness partition and the fan-out spans the whole
+   netlist in a single wave.  Tree-algorithm solves are pure reads of the
+   frozen state, hence domain-count-independent; two-pin nets claim wires
+   through the live journal while solving (and roll back to the epoch state
+   when done), so they run serially after the wave and still see exactly
+   the epoch state. *)
+let negotiated_iteration ~par ~par_waves caches cfg rrg nets =
+  let n = Array.length nets in
+  let results = Array.make n None in
+  let par_idx = ref [] in
+  for i = n - 1 downto 0 do
+    if not (serial_only cfg nets.(i)) then par_idx := i :: !par_idx
+  done;
+  let par_idx = Array.of_list !par_idx in
+  let count = Array.length par_idx in
+  (match par with
+  | Some ctx when count >= 2 ->
+      incr par_waves;
+      let solved =
+        Fr_util.Pool.map ctx.wpool ~count (fun ~worker k ->
+            attempt ctx.dcaches.(worker) cfg ctx.wrrg nets.(par_idx.(k)))
+      in
+      Array.iteri (fun k r -> results.(par_idx.(k)) <- r) solved
+  | _ -> Array.iter (fun i -> results.(i) <- attempt caches cfg rrg nets.(i)) par_idx);
+  Array.iteri
+    (fun i net -> if serial_only cfg net then results.(i) <- attempt caches cfg rrg net)
+    nets;
+  results
+
+let cost_model_params cfg =
+  {
+    G.Cost_model.present_factor = cfg.neg_present_factor;
+    present_growth = cfg.neg_present_growth;
+    history_factor = cfg.neg_history_factor;
+    capacity = 1;
+  }
+
 let peak_occupancy rrg =
   List.fold_left (fun acc seg -> Int.max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
 
@@ -525,7 +600,128 @@ let route ?(config = default_config) ?(domains = 1) rrg circuit =
       else passes (move_to_front failed order) (n + 1) ~best ~stalled
     end
   in
-  passes (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
+  (* Negotiated congestion: nets route against shared, over-subscribable
+     resources priced by the cost model.  Overuse is legal mid-flight; the
+     price escalation (present pressure growing geometrically, history
+     rising by a sub-gradient step on each resource's overuse) drives it
+     to zero.  The first iteration routes the whole netlist at base
+     prices; afterwards every net touching an overused resource is ripped
+     out of the usage counts and re-solved — one parallel fan-out over
+     ALL conflicted nets, no disjointness partition — against the graph
+     priced from the remaining (kept) usage plus history, which is the
+     rip-up discipline of the sub-gradient router (arXiv 1803.03885).
+     Each iteration's solves are pure functions of the epoch's frozen
+     priced graph, the conflicted set is a pure function of the previous
+     iteration, and nets are committed in canonical order only after
+     convergence — so results are bit-identical across [~domains]. *)
+  let negotiate () =
+    let cm = G.Cost_model.create ~params:(cost_model_params config) g in
+    let nets = Array.of_list (initial_order circuit.Netlist.nets) in
+    let n_nets = Array.length nets in
+    let trees = Array.make n_nets G.Tree.empty in
+    let rec iterate n ~active ~best ~stalled =
+      let active_nets = Array.map (fun i -> nets.(i)) active in
+      let results =
+        negotiated_iteration ~par ~par_waves:par_batches caches config rrg active_nets
+      in
+      let missing = ref [] in
+      Array.iteri
+        (fun k r ->
+          match r with
+          | Some t -> trees.(active.(k)) <- t
+          | None -> missing := nets.(active.(k)).Netlist.net_name :: !missing)
+        results;
+      if !missing <> [] then begin
+        (* Some net is unroutable even with every resource shared: no
+           price schedule can fix that.  Restore the entry state. *)
+        G.Gstate.rollback g cp;
+        Error { failed_nets = List.rev !missing; passes_tried = n }
+      end
+      else begin
+        G.Cost_model.begin_iteration cm;
+        Array.iter (fun t -> G.Cost_model.use_nodes cm (G.Tree.nodes g t)) trees;
+        let overuse = G.Cost_model.overuse cm in
+        if overuse = 0 then begin
+          (* Converged: the trees are mutually disjoint.  Roll the prices
+             back to the base weights, then land the trees exactly as the
+             waves mode does — measured and congestion-priced in
+             pre-negotiation units, in canonical net order. *)
+          G.Gstate.rollback g cp;
+          let routed =
+            Array.to_list
+              (Array.mapi
+                 (fun i tree ->
+                   let net = nets.(i) in
+                   let cnet = Netlist.rrg_net rrg net in
+                   let max_path =
+                     base_max_path base_w g tree ~net_src:cnet.C.Net.source
+                       ~sinks:cnet.C.Net.sinks
+                   in
+                   let wires_used = Rrg.wirelength rrg tree in
+                   commit config rrg net tree;
+                   { net; tree; wires_used; max_path })
+                 trees)
+          in
+          G.Gstate.commit g cp;
+          Ok
+            {
+              passes = n;
+              routed;
+              total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
+              total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
+              peak_occupancy = peak_occupancy rrg;
+              dijkstra_runs = all_runs ();
+              settled_nodes = all_settled ();
+              mutations = G.Gstate.mutations g - mut0;
+              rollbacks = G.Gstate.rollbacks g - rb0;
+              journal_depth = G.Gstate.peak_journal_depth g;
+              domains;
+              par_batches = !par_batches;
+              par_conflicts = !par_conflicts;
+            }
+        end
+        else begin
+          let best, stalled = if overuse < best then (overuse, 0) else (best, stalled + 1) in
+          let over = Hashtbl.create 64 in
+          List.iter (fun v -> Hashtbl.replace over v ()) (G.Cost_model.overused_nodes cm);
+          let conflicted = ref [] in
+          for i = n_nets - 1 downto 0 do
+            if List.exists (Hashtbl.mem over) (G.Tree.nodes g trees.(i)) then
+              conflicted := i :: !conflicted
+          done;
+          if n >= config.neg_max_iterations || stalled >= config.neg_stall_limit then begin
+            (* Price escalation stopped helping: report the nets still
+               fighting over an overused resource and restore the entry
+               state. *)
+            G.Gstate.rollback g cp;
+            Error
+              {
+                failed_nets = List.map (fun i -> nets.(i).Netlist.net_name) !conflicted;
+                passes_tried = n;
+              }
+          end
+          else begin
+            (* History escalates on the full usage (the overuse actually
+               observed); then the conflicted nets are ripped out so the
+               present term prices only the kept nets' occupancy. *)
+            G.Cost_model.escalate cm;
+            List.iter
+              (fun i -> G.Cost_model.release_nodes cm (G.Tree.nodes g trees.(i)))
+              !conflicted;
+            G.Cost_model.apply cm;
+            (* The apply bumped the graph version; dropping stale entries
+               here keeps the dependency explicit, as in the waves mode. *)
+            pool_invalidate caches;
+            iterate (n + 1) ~active:(Array.of_list !conflicted) ~best ~stalled
+          end
+        end
+      end
+    in
+    iterate 1 ~active:(Array.init n_nets (fun i -> i)) ~best:max_int ~stalled:0
+  in
+  match config.mode with
+  | Waves -> passes (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
+  | Negotiated -> negotiate ()
 
 let min_channel_width ?(config = default_config) ?(domains = 1) ~arch_of_width ~circuit
     ~start ?max_width () =

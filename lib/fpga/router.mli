@@ -26,7 +26,21 @@
     per-domain distance caches; because those solves are pure functions of
     the frozen state and everything else is serial and order-fixed, the
     routed result is bit-identical for every [domains] value — only the
-    wall time and the Dijkstra work counters change. *)
+    wall time and the Dijkstra work counters change.
+
+    {b Negotiated congestion} ([mode = Negotiated]) replaces the rip-up
+    scheduling above with PathFinder-style Lagrangian pricing
+    ({!Fr_graph.Cost_model}): every iteration, {e all} nets route
+    independently against shared, over-subscribable resources — one
+    parallel wave over the whole netlist, not disjoint batches — and a
+    resource used by more than one net is overused, which is legal
+    mid-flight.  Between iterations the overused resources' prices
+    escalate (present pressure geometrically, history by a sub-gradient
+    step on the overuse) until the cheapest trees are mutually disjoint,
+    at which point the trees are committed in canonical net order at base
+    weights.  Solves are pure functions of each iteration's frozen priced
+    graph and the pricing reads only iteration-start state, so negotiated
+    results are also bit-identical across [domains]. *)
 
 type strategy =
   | Tree_alg of Fr_core.Routing_alg.t
@@ -36,8 +50,13 @@ type strategy =
           strategy of CGE/SEGA/GBP that the paper credits its channel-width
           win against *)
 
+type mode =
+  | Waves  (** rip-up passes over disjoint speculative batches (default) *)
+  | Negotiated  (** PathFinder-style negotiated congestion *)
+
 type config = {
   strategy : strategy;
+  mode : mode;
   critical_strategy : (Netlist.net -> bool) option;
       (** §2's net classification: nets satisfying the predicate are
           "critical" and routed with [critical_alg] (shortest paths first),
@@ -59,11 +78,23 @@ type config = {
   par_batch : int;
       (** cap on nets per speculative batch (default 8); [1] disables
           batching — every net solves against the live state serially *)
+  neg_max_iterations : int;
+      (** negotiated mode: iteration cap before declaring failure
+          (default 64) *)
+  neg_stall_limit : int;
+      (** negotiated mode: give up after this many consecutive iterations
+          without a new best total overuse (default 12) *)
+  neg_present_factor : float;
+      (** {!Fr_graph.Cost_model.params.present_factor} (default 0.5) *)
+  neg_present_growth : float;
+      (** {!Fr_graph.Cost_model.params.present_growth} (default 1.3) *)
+  neg_history_factor : float;
+      (** {!Fr_graph.Cost_model.params.history_factor} (default 0.4) *)
 }
 
 val default_config : config
 
-val config_with : ?alg:Fr_core.Routing_alg.t -> ?max_passes:int -> unit -> config
+val config_with : ?alg:Fr_core.Routing_alg.t -> ?max_passes:int -> ?mode:mode -> unit -> config
 
 type routed_net = {
   net : Netlist.net;
@@ -72,8 +103,16 @@ type routed_net = {
   max_path : float;  (** max source–sink pathlength (base weights) *)
 }
 
+val candidates_for : Rrg.t -> config -> (int -> bool) -> int list
+(** Candidate Steiner nodes for one net: enabled wire nodes satisfying the
+    predicate (the net's bounding box), thinned by a uniform stride to at
+    most [max_candidates].  Exposed so tests can pin the thinning bounds:
+    when the scan finds [count > max_candidates] nodes, the kept count is
+    at most [max_candidates] and more than [max_candidates / 2]. *)
+
 type stats = {
   passes : int;
+      (** waves: rip-up passes run; negotiated: pricing iterations run *)
   routed : routed_net list;
   total_wirelength : float;
   total_max_path : float;
@@ -94,8 +133,9 @@ type stats = {
           against the O(V+E) full-graph snapshot scans it replaced *)
   domains : int;  (** domain count this route ran with *)
   par_batches : int;
-      (** multi-net speculative batches formed across all passes — the
-          parallelism actually available in the waves *)
+      (** waves: multi-net speculative batches formed across all passes —
+          the parallelism actually available; negotiated: whole-netlist
+          parallel waves run (one per iteration when [domains > 1]) *)
   par_conflicts : int;
       (** speculative trees invalidated by a batch-mate's commit and
           re-solved serially *)

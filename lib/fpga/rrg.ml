@@ -21,6 +21,16 @@ type seg =
   | H of int * int
   | V of int * int
 
+(* Typed total order on segments (H before V, then coordinates), so hot
+   paths sorting touched segments never fall back to polymorphic compare. *)
+let compare_seg a b =
+  match (a, b) with
+  | H (a1, a2), H (b1, b2) | V (a1, a2), V (b1, b2) ->
+      let c = Int.compare a1 b1 in
+      if c <> 0 then c else Int.compare a2 b2
+  | H _, V _ -> -1
+  | V _, H _ -> 1
+
 type kind =
   | Wire of seg * int
   | Pin of int * int * side * int

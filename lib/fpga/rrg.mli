@@ -31,6 +31,10 @@ type seg =
   | H of int * int  (** H (y, x): horizontal channel y, segment x *)
   | V of int * int  (** V (x, y): vertical channel x, segment y *)
 
+val compare_seg : seg -> seg -> int
+(** Typed total order (all H before all V, then by coordinates) — the
+    comparator for hot-path segment sorts. *)
+
 type kind =
   | Wire of seg * int  (** segment and track *)
   | Pin of int * int * side * int  (** row, col, side, slot *)

@@ -58,7 +58,7 @@ let kruskal ~nodes ~edges =
     let sorted =
       List.sort
         (fun (_, _, w1, t1) (_, _, w2, t2) ->
-          match compare w1 w2 with 0 -> compare t1 t2 | c -> c)
+          match Float.compare w1 w2 with 0 -> Int.compare t1 t2 | c -> c)
         edges
     in
     let dsu = Dsu.create n in

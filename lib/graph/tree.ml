@@ -1,6 +1,6 @@
 type t = { edges : Gstate.edge list }
 
-let of_edges edges = { edges = List.sort_uniq compare edges }
+let of_edges edges = { edges = List.sort_uniq Int.compare edges }
 
 let empty = { edges = [] }
 
@@ -19,7 +19,7 @@ let node_set g t =
   tbl
 
 let nodes g t =
-  Hashtbl.fold (fun v () acc -> v :: acc) (node_set g t) [] |> List.sort compare
+  Hashtbl.fold (fun v () acc -> v :: acc) (node_set g t) [] |> List.sort Int.compare
 
 let mem_node g t v = Hashtbl.mem (node_set g t) v
 

@@ -10,3 +10,7 @@ let fine_ident x y = x = y (* trivial operands: no finding *)
 let fine_literal n = n = 0 (* literal operand: no finding *)
 
 let fine_arith n m = n < 0 || m <> n - 1 (* arithmetic is trivial: no finding *)
+
+let sort_ids xs = List.sort_uniq compare xs (* finding: bare compare as argument *)
+
+let fine_typed xs = List.sort_uniq Int.compare xs (* typed comparator: no finding *)

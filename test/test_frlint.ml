@@ -32,6 +32,7 @@ let expected_fixture_findings =
     ("missing_mli.ml", "mli-required");
     ("poly_compare.ml", "no-polymorphic-compare");
     ("poly_compare.ml", "no-polymorphic-compare");
+    ("poly_compare.ml", "no-polymorphic-compare");
   ]
 
 let test_fixture_findings () =

@@ -102,9 +102,17 @@ let poly_op (lid : Longident.t) =
       Some "Hashtbl.hash"
   | _ -> None
 
+(* Unapplied [compare] handed to a higher-order function ([List.sort_uniq
+   compare ...]): the callee calls caml_compare per element pair, which the
+   applied-operand check above never sees. *)
+let bare_compare_ident (lid : Longident.t) =
+  match lid with
+  | Lident "compare" | Ldot (Lident "Stdlib", "compare") -> true
+  | _ -> false
+
 let check_poly_compare ctx loc fn args =
-  if ctx.scope.Scope.hot then
-    match fn.pexp_desc with
+  if ctx.scope.Scope.hot then begin
+    (match fn.pexp_desc with
     | Pexp_ident { txt; _ } -> (
         match poly_op txt with
         | Some op ->
@@ -121,7 +129,17 @@ let check_poly_compare ctx loc fn args =
                     to scalars first, or use a typed comparison (Int.equal, Float.compare, ...)"
                    op)
         | None -> ())
-    | _ -> ()
+    | _ -> ());
+    List.iter
+      (fun (_, a) ->
+        match a.pexp_desc with
+        | Pexp_ident { txt; _ } when bare_compare_ident txt ->
+            add ctx a.pexp_loc "no-polymorphic-compare"
+              "bare polymorphic compare passed as a function argument in a hot library; \
+               pass a typed comparator (Int.compare, Float.compare, ...) instead"
+        | _ -> ())
+      args
+  end
 
 (* ------------------------------------------------------------------ *)
 (* error-names-entry-point                                             *)
