@@ -26,6 +26,35 @@ let quick = Sys.getenv_opt "REPRO_QUICK" <> None
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
+(* Baseline search configuration for every non-A/B section: --no-astar /
+   --heap argv win, then FR_SMOKE_ASTAR (0 disables) / FR_SMOKE_HEAP, then
+   the library defaults (A* on, bucket queue).  The dedicated A/B section
+   below sweeps all four combinations regardless of these. *)
+let astar_default =
+  if Array.exists (( = ) "--no-astar") Sys.argv then false
+  else match Sys.getenv_opt "FR_SMOKE_ASTAR" with Some ("0" | "false") -> false | _ -> true
+
+let heap_default =
+  let rec from_argv = function
+    | "--heap" :: v :: _ -> Some v
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  let v =
+    match from_argv (Array.to_list Sys.argv) with
+    | Some v -> Some v
+    | None -> Sys.getenv_opt "FR_SMOKE_HEAP"
+  in
+  match v with
+  | None -> G.Pq.Bucket
+  | Some s -> (
+      match G.Pq.impl_of_string s with
+      | Some impl -> impl
+      | None -> failwith "bad --heap / FR_SMOKE_HEAP value (expected binary or bucket)")
+
+let config_with ?alg ?max_passes ?mode () =
+  F.Router.config_with ?alg ?max_passes ?mode ~astar:astar_default ~heap:heap_default ()
+
 (* Worker-domain count for the parallel-router section: --domains N wins,
    then FR_SMOKE_DOMAINS (how CI forces the 4-domain smoke), then 2 — the
    cheapest count that still exercises the pool on every dev run. *)
@@ -84,7 +113,7 @@ let router_kernel alg () =
   let spec = Option.get (F.Circuits.find_spec "term1") in
   let circuit = F.Circuits.generate spec in
   let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:10) in
-  let config = F.Router.config_with ~alg ~max_passes:3 () in
+  let config = config_with ~alg ~max_passes:3 () in
   ignore (F.Router.route ~config rrg circuit)
 
 let fig10_kernel () =
@@ -154,11 +183,11 @@ let route_instrumented ~config ~targeted ~channel_width spec =
    are where the searches stop early. *)
 let ab_strategies max_passes =
   [
-    ("IKMB", F.Router.config_with ~alg:C.Routing_alg.ikmb ~max_passes ());
-    ("KMB", F.Router.config_with ~alg:C.Routing_alg.kmb ~max_passes ());
+    ("IKMB", config_with ~alg:C.Routing_alg.ikmb ~max_passes ());
+    ("KMB", config_with ~alg:C.Routing_alg.kmb ~max_passes ());
     ( "2pin",
       {
-        (F.Router.config_with ~max_passes ()) with
+        (config_with ~max_passes ()) with
         F.Router.strategy = F.Router.Two_pin_decomposition;
       } );
   ]
@@ -275,7 +304,7 @@ let parallel_section ~specs ~max_passes ~channel_width ~domains ~reps () =
       ~header:
         [ "circuit"; "serial s"; "par s"; "speedup"; "batches"; "conflicts"; "trees" ]
   in
-  let config = F.Router.config_with ~alg:C.Routing_alg.ikmb ~max_passes () in
+  let config = config_with ~alg:C.Routing_alg.ikmb ~max_passes () in
   let all_identical = ref true and worst_speedup = ref infinity in
   List.iter
     (fun spec ->
@@ -404,8 +433,8 @@ let negotiated_section ~specs ~domains ~sweep () =
     (fun spec ->
       let name = spec.F.Circuits.circuit in
       let width = Option.get spec.F.Circuits.published.F.Circuits.ours_ikmb in
-      let waves_cfg = F.Router.config_with ~alg:C.Routing_alg.ikmb () in
-      let neg_cfg = F.Router.config_with ~alg:C.Routing_alg.ikmb ~mode:F.Router.Negotiated () in
+      let waves_cfg = config_with ~alg:C.Routing_alg.ikmb () in
+      let neg_cfg = config_with ~alg:C.Routing_alg.ikmb ~mode:F.Router.Negotiated () in
       let route_mode config d =
         let circuit = F.Circuits.generate spec in
         let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
@@ -484,6 +513,171 @@ let negotiated_section ~specs ~domains ~sweep () =
   write_bench_json ~path:"BENCH_pr6.json" ~circuits_json:(List.rev !circuits_json);
   !all_ok
 
+(* ------------------------------------------------------------------ *)
+(* Goal-directed search A/B (A* on/off x heap impl) + BENCH_pr7.json   *)
+(* ------------------------------------------------------------------ *)
+
+(* The four search configurations of one routing cell.  The settled-node
+   count is a pure function of the frontier's pop order, which both heap
+   implementations share exactly — so the heap axis only moves wall time
+   while the A* axis moves the counts; trees are bit-identical across all
+   four (canonical-parent relaxation, see Fr_graph.Dijkstra). *)
+let pr7_variants base =
+  [
+    ("astar+bucket", { base with F.Router.astar = true; heap = G.Pq.Bucket });
+    ("astar+binary", { base with F.Router.astar = true; heap = G.Pq.Binary });
+    ("off+bucket", { base with F.Router.astar = false; heap = G.Pq.Bucket });
+    ("off+binary", { base with F.Router.astar = false; heap = G.Pq.Binary });
+  ]
+
+(* Cell flags: [guaranteed] marks cells where every targeted query's
+   targets all have zero future cost (KMB's terminal pairs, the two-pin
+   baseline's single sinks), which carries the provable guarantee
+   settled(on) <= settled(off); [want2x] marks the pure point-to-point
+   cell where goal-direction is at its sharpest and the smoke demands a
+   >= 2x settled-node cut.  KMB's per-net heuristic is flattened by the
+   net's other terminals (the bound is a min over all of them), so it
+   reduces but less; IKMB's Δ-scan targets thousands of Steiner
+   candidates, so its searches must settle them all regardless of
+   goal-direction — both are measured for the record, not held to 2x. *)
+let pr7_cells ~max_passes ~neg_circuits name =
+  [
+    ("waves/IKMB", false, false, Some (config_with ~alg:C.Routing_alg.ikmb ~max_passes ()));
+    ("waves/KMB", true, false, Some (config_with ~alg:C.Routing_alg.kmb ~max_passes ()));
+    ( "waves/2pin",
+      true,
+      true,
+      Some
+        {
+          (config_with ~max_passes ()) with
+          F.Router.strategy = F.Router.Two_pin_decomposition;
+        } );
+    ( "negotiated/IKMB",
+      false,
+      false,
+      (* Negotiated convergence takes tens of pricing iterations per
+         variant, so the smoke bounds this cell to a subset of circuits;
+         the full bench sweeps it everywhere. *)
+      if List.mem name neg_circuits then
+        Some (config_with ~alg:C.Routing_alg.ikmb ~mode:F.Router.Negotiated ~max_passes ())
+      else None );
+  ]
+
+let astar_section ~specs ~max_passes ~channel_width ~neg_circuits () =
+  section "Goal-directed search A/B (A* on/off x heap impl, same trees)";
+  let t =
+    Fr_util.Tab.create
+      ~title:
+        (Printf.sprintf "A* and heap A/B (W=%d, max %d passes)" channel_width max_passes)
+      ~header:
+        [ "cell"; "settled A*"; "settled off"; "ratio"; "h-evals"; "bucket s"; "binary s";
+          "off s"; "trees" ]
+  in
+  let all_identical = ref true and reduced = ref true in
+  let worst_2x_ratio = ref infinity in
+  let quality = ref [] and circuits_json = ref [] in
+  List.iter
+    (fun spec ->
+      let name = spec.F.Circuits.circuit in
+      let cells_json = ref [] and domains_ok = ref true in
+      List.iter
+        (fun (cell_name, guaranteed, want2x, base) ->
+          match base with
+          | None -> ()
+          | Some base ->
+          let row_name = name ^ "/" ^ cell_name in
+          let runs =
+            List.map
+              (fun (vname, cfg) ->
+                let circuit = F.Circuits.generate spec in
+                let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width) in
+                let t0 = Unix.gettimeofday () in
+                let r = F.Router.route ~config:cfg rrg circuit in
+                (vname, r, Unix.gettimeofday () -. t0))
+              (pr7_variants base)
+          in
+          match runs with
+          | [ (_, Ok ab, s_ab); (_, Ok abin, s_abin); (_, Ok ob, s_ob); (_, Ok obin, s_obin) ]
+            ->
+              let stats = [ ab; abin; ob; obin ] in
+              let tree0 = canonical_trees ab in
+              let identical = List.for_all (fun s -> canonical_trees s = tree0) stats in
+              if not identical then all_identical := false;
+              let on = ab.F.Router.settled_nodes and off = ob.F.Router.settled_nodes in
+              if guaranteed && on > off then reduced := false;
+              if want2x then begin
+                let r = float_of_int off /. float_of_int (max 1 on) in
+                if r < !worst_2x_ratio then worst_2x_ratio := r
+              end;
+              if cell_name = "waves/IKMB" then
+                quality :=
+                  (name, ab.F.Router.total_wirelength, ab.F.Router.total_max_path)
+                  :: !quality;
+              Fr_util.Tab.add_row t
+                [ row_name;
+                  string_of_int on;
+                  string_of_int off;
+                  Printf.sprintf "%.1fx" (float_of_int off /. float_of_int (max 1 on));
+                  string_of_int ab.F.Router.future_cost_evals;
+                  Printf.sprintf "%.2f" s_ab;
+                  Printf.sprintf "%.2f" s_abin;
+                  Printf.sprintf "%.2f" s_ob;
+                  (if identical then "identical" else "DIFFER") ];
+              cells_json :=
+                Printf.sprintf "{\"cell\": \"%s\", \"trees_identical\": %b, \"variants\": {%s}}"
+                  (json_escape cell_name) identical
+                  (String.concat ", "
+                     (List.map2
+                        (fun (vname, _) (s, wall_s) ->
+                          Printf.sprintf "%S: %s" vname
+                            (mode_json ~stats:s ~wall_s
+                               [
+                                 ("dijkstra_runs", string_of_int s.F.Router.dijkstra_runs);
+                                 ( "future_cost_evals",
+                                   string_of_int s.F.Router.future_cost_evals );
+                                 ("heap", Printf.sprintf "%S" s.F.Router.heap_impl);
+                               ]))
+                        (pr7_variants base)
+                        [ (ab, s_ab); (abin, s_abin); (ob, s_ob); (obin, s_obin) ]))
+                :: !cells_json
+          | _ ->
+              all_identical := false;
+              Fr_util.Tab.add_row t
+                [ row_name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "FAILED" ])
+        (pr7_cells ~max_passes ~neg_circuits name);
+      (* Cross-domain identity at the default search configuration (the
+         acceptance pin: --domains 1/2/4 route the same trees). *)
+      let dom_cfg = config_with ~alg:C.Routing_alg.ikmb ~max_passes () in
+      let dom_cfg = { dom_cfg with F.Router.astar = true; heap = G.Pq.Bucket } in
+      let dom_runs =
+        List.map
+          (fun d ->
+            match route_domains ~config:dom_cfg ~channel_width ~domains:d spec with
+            | Ok s, _ -> Some (canonical_trees s)
+            | Error _, _ -> None)
+          [ 1; 2; 4 ]
+      in
+      (match dom_runs with
+      | [ Some a; Some b; Some c ] -> if not (a = b && b = c) then domains_ok := false
+      | _ -> domains_ok := false);
+      if not !domains_ok then all_identical := false;
+      circuits_json :=
+        Printf.sprintf
+          "{\"circuit\": \"%s\", \"width\": %d, \"domains_identical_1_2_4\": %b, \
+           \"cells\": [%s]}"
+          (json_escape name) channel_width !domains_ok
+          (String.concat ", " (List.rev !cells_json))
+        :: !circuits_json)
+    specs;
+  Fr_util.Tab.print t;
+  let oc = open_out "BENCH_pr7.json" in
+  Printf.fprintf oc "{\"bench\": \"pr7_astar_heap_ab\", \"quick\": %b, \"circuits\": [%s]}\n"
+    quick
+    (String.concat ", " (List.rev !circuits_json));
+  close_out oc;
+  Printf.printf "(wrote BENCH_pr7.json)\n%!";
+  (!all_identical, !reduced, !worst_2x_ratio, !quality)
+
 (* Journal-overlay accounting, at each circuit's published minimum channel
    width so rip-up passes actually happen.  The restore work is the journal
    entries undone; the old scheme scanned the full O(V+E) snapshot on every
@@ -506,7 +700,7 @@ let journal_section ~max_passes () =
       let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
       let g = rrg.F.Rrg.graph in
       let snapshot_cost = G.Gstate.num_nodes g + G.Gstate.num_edges g in
-      match F.Router.route ~config:(F.Router.config_with ~max_passes ()) rrg circuit with
+      match F.Router.route ~config:(config_with ~max_passes ()) rrg circuit with
       | Ok s ->
           (* total entries undone across all rollbacks vs the full-snapshot
              scans the old restore would have performed *)
@@ -575,11 +769,50 @@ let smoke_main () =
        tree disjointness, or cross-domain identity)";
     exit 1
   end;
+  let astar_identical, astar_reduced, point_to_point_ratio, quality =
+    astar_section ~specs ~max_passes:3 ~channel_width:14 ~neg_circuits:[ "term1" ] ()
+  in
+  if not astar_identical then begin
+    prerr_endline
+      "SMOKE FAIL: A*/heap A/B broke bit-identity (across astar on/off, heap impls, or \
+       domains 1/2/4)";
+    exit 1
+  end;
+  if not astar_reduced then begin
+    prerr_endline
+      "SMOKE FAIL: goal-direction settled MORE nodes on a guaranteed (point-to-point) cell";
+    exit 1
+  end;
+  if point_to_point_ratio < 2. then begin
+    Printf.eprintf
+      "SMOKE FAIL: goal-direction only cut settled nodes %.2fx on the point-to-point cells \
+       (expected >= 2x)\n"
+      point_to_point_ratio;
+    exit 1
+  end;
+  (* Routing-quality pin at the W=14 smoke cell (IKMB, Waves): the
+     canonical-parent relaxation landed with goal-direction makes these a
+     pure graph property, so any drift is a real behavior change. *)
+  let golden = [ ("term1", (767., 649.)); ("apex7", (1083., 925.)) ] in
+  List.iter
+    (fun (name, wl, mp) ->
+      match List.assoc_opt name golden with
+      | Some (gwl, gmp) when gwl = wl && gmp = mp -> ()
+      | Some (gwl, gmp) ->
+          Printf.eprintf
+            "SMOKE FAIL: %s quality drifted: wirelength %.0f (pinned %.0f), max path %.0f \
+             (pinned %.0f)\n"
+            name wl gwl mp gmp;
+          exit 1
+      | None -> ())
+    quality;
   Printf.printf
-    "smoke OK: trees identical (targeted A/B and %d-domain parallel, %.2fx wall ratio), \
-     targeted settles >= 2x fewer nodes, journal restore work below full-snapshot scans, \
-     negotiated mode converges overuse-free at the waves widths\n%!"
-    domains speedup
+    "smoke OK: trees identical (targeted A/B, %d-domain parallel at %.2fx wall ratio, A* \
+     on/off x heap impls, domains 1/2/4), targeted settles >= 2x fewer nodes, \
+     goal-direction cuts point-to-point settling %.1fx (>= 2x) with pinned routing \
+     quality, journal restore work below full-snapshot scans, negotiated mode converges \
+     overuse-free at the waves widths\n%!"
+    domains speedup point_to_point_ratio
 
 (* ------------------------------------------------------------------ *)
 (* Full table / figure regeneration                                    *)
@@ -637,9 +870,14 @@ let () =
   in
   ignore (wall (fun () -> negotiated_section ~specs:neg_specs ~domains ~sweep:(not quick) ()));
 
+  ignore
+    (wall (fun () ->
+         astar_section ~specs:neg_specs ~max_passes:(if quick then 3 else 8) ~channel_width:14
+           ~neg_circuits:[ "term1"; "apex7" ] ()));
+
   let nets_per_config = if quick then 10 else 50 in
   let max_passes = if quick then 8 else 20 in
-  let config = F.Router.config_with ~max_passes () in
+  let config = config_with ~max_passes () in
 
   section "Table 1 (grid congestion study)";
   wall (fun () ->

@@ -56,14 +56,32 @@ let mode_arg =
            iteration against shared resources priced by overuse). Both modes are \
            bit-identical across $(b,--domains).")
 
+let no_astar_arg =
+  Arg.(
+    value & flag
+    & info [ "no-astar" ]
+        ~doc:
+          "Disable goal-directed (A-star) search and run plain Dijkstra. Routed trees are \
+           bit-identical either way; only the number of settled nodes changes.")
+
+let heap_arg =
+  Arg.(
+    value
+    & opt (enum [ ("binary", G.Pq.Binary); ("bucket", G.Pq.Bucket) ]) G.Pq.Bucket
+    & info [ "heap" ] ~docv:"IMPL"
+        ~doc:
+          "Priority-queue implementation behind every search: $(b,bucket) (calibrated bucket \
+           queue, the default) or $(b,binary) (binary heap). Trees are bit-identical across \
+           implementations.")
+
 let spec_arg = Arg.(required & pos 0 (some spec_conv) None & info [] ~docv:"CIRCUIT")
 
 (* ---------------- route ---------------- *)
 
-let run_route spec width alg passes mode domains render =
+let run_route spec width alg passes mode domains no_astar heap render =
   let circuit = F.Circuits.generate spec in
   let rrg = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:width) in
-  let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
+  let config = F.Router.config_with ~alg ~max_passes:passes ~mode ~astar:(not no_astar) ~heap () in
   match F.Router.route ~config ~domains rrg circuit with
   | Ok stats ->
       print_endline (F.Render.summary rrg stats);
@@ -81,13 +99,14 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Route a benchmark circuit at a fixed channel width")
     Term.(
-      const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ mode_arg $ domains_arg $ render)
+      const run_route $ spec_arg $ width $ alg_arg $ passes_arg $ mode_arg $ domains_arg
+      $ no_astar_arg $ heap_arg $ render)
 
 (* ---------------- width ---------------- *)
 
-let run_width spec alg passes mode domains start =
+let run_width spec alg passes mode domains no_astar heap start =
   let circuit = F.Circuits.generate spec in
-  let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
+  let config = F.Router.config_with ~alg ~max_passes:passes ~mode ~astar:(not no_astar) ~heap () in
   let arch_of_width w = F.Circuits.arch_for spec ~channel_width:w in
   let start =
     match start with
@@ -117,7 +136,9 @@ let width_cmd =
   in
   Cmd.v
     (Cmd.info "width" ~doc:"Find a circuit's minimum routable channel width")
-    Term.(const run_width $ spec_arg $ alg_arg $ passes_arg $ mode_arg $ domains_arg $ start)
+    Term.(
+      const run_width $ spec_arg $ alg_arg $ passes_arg $ mode_arg $ domains_arg $ no_astar_arg
+      $ heap_arg $ start)
 
 (* ---------------- table ---------------- *)
 
@@ -183,7 +204,7 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Print a benchmark circuit in the textual netlist format")
     Term.(const run_export $ spec_arg)
 
-let run_route_file file width series alg passes mode domains render =
+let run_route_file file width series alg passes mode domains no_astar heap render =
   let read_all path =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -206,7 +227,9 @@ let run_route_file file width series alg passes mode domains render =
               ~channel_width:width
       in
       let rrg = F.Rrg.build arch in
-      let config = F.Router.config_with ~alg ~max_passes:passes ~mode () in
+      let config =
+        F.Router.config_with ~alg ~max_passes:passes ~mode ~astar:(not no_astar) ~heap ()
+      in
       match F.Router.route ~config ~domains rrg circuit with
       | Ok stats ->
           print_endline (F.Render.summary rrg stats);
@@ -229,7 +252,7 @@ let route_file_cmd =
     (Cmd.info "route-file" ~doc:"Route a circuit from a textual netlist file")
     Term.(
       const run_route_file $ file $ width $ series $ alg_arg $ passes_arg $ mode_arg
-      $ domains_arg $ render)
+      $ domains_arg $ no_astar_arg $ heap_arg $ render)
 
 (* ---------------- circuits ---------------- *)
 

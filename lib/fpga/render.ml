@@ -66,9 +66,16 @@ let summary rrg stats =
       Printf.sprintf "; %d domains (%d batches, %d conflicts)" stats.Router.domains
         stats.Router.par_batches stats.Router.par_conflicts
   in
+  let search =
+    Printf.sprintf "; %d searches settled %d nodes (%s heap%s)" stats.Router.dijkstra_runs
+      stats.Router.settled_nodes stats.Router.heap_impl
+      (if stats.Router.future_cost_evals > 0 then
+         Printf.sprintf ", A* %d h-evals" stats.Router.future_cost_evals
+       else "")
+  in
   Printf.sprintf
     "%s: %d nets routed in %d pass(es); wirelength %.0f wires; max pathlength sum %.1f; peak \
-     channel occupancy %d/%d%s"
+     channel occupancy %d/%d%s%s"
     (Arch.describe a) (List.length stats.Router.routed) stats.Router.passes
     stats.Router.total_wirelength stats.Router.total_max_path stats.Router.peak_occupancy
-    a.Arch.channel_width par
+    a.Arch.channel_width par search

@@ -19,6 +19,8 @@ type config = {
   bbox_margin : float;
   max_candidates : int;
   targeted_dijkstra : bool;
+  astar : bool;
+  heap : G.Pq.impl;
   par_batch : int;
   neg_max_iterations : int;
   neg_stall_limit : int;
@@ -38,6 +40,8 @@ let default_config =
     bbox_margin = 3.;
     max_candidates = 2500;
     targeted_dijkstra = true;
+    astar = true;
+    heap = G.Pq.Bucket;
     par_batch = 8;
     neg_max_iterations = 64;
     neg_stall_limit = 12;
@@ -46,10 +50,12 @@ let default_config =
     neg_history_factor = 0.4;
   }
 
-let config_with ?alg ?max_passes ?mode () =
+let config_with ?alg ?max_passes ?mode ?astar ?heap () =
   let cfg = default_config in
   let cfg = match alg with Some a -> { cfg with strategy = Tree_alg a } | None -> cfg in
   let cfg = match mode with Some m -> { cfg with mode = m } | None -> cfg in
+  let cfg = match astar with Some a -> { cfg with astar = a } | None -> cfg in
+  let cfg = match heap with Some h -> { cfg with heap = h } | None -> cfg in
   match max_passes with Some p -> { cfg with max_passes = p } | None -> cfg
 
 type routed_net = {
@@ -73,6 +79,8 @@ type stats = {
   domains : int;
   par_batches : int;
   par_conflicts : int;
+  future_cost_evals : int;
+  heap_impl : string;
 }
 
 type failure = {
@@ -136,9 +144,16 @@ type cache_pool = {
   caches : (cache_key, G.Dist_cache.t) Hashtbl.t;
   pool_graph : G.Gstate.t;
   targeted : bool;
+  pq_impl : G.Pq.impl;
 }
 
-let make_pool cfg g = { caches = Hashtbl.create 32; pool_graph = g; targeted = cfg.targeted_dijkstra }
+let make_pool cfg g =
+  {
+    caches = Hashtbl.create 32;
+    pool_graph = g;
+    targeted = cfg.targeted_dijkstra;
+    pq_impl = cfg.heap;
+  }
 
 let pool_cache pool rrg cfg net ~restricted =
   let key =
@@ -152,7 +167,15 @@ let pool_cache pool rrg cfg net ~restricted =
   | Some cache -> cache
   | None ->
       let restrict = if restricted then Some (bbox_pred rrg cfg net) else None in
-      let cache = G.Dist_cache.create ?restrict ~targeted:pool.targeted pool.pool_graph in
+      (* The bucket-queue quantum is calibrated to the RRG's cost grid:
+         pin edges cost half a distance unit, so half the per-unit
+         minimum is the finest base-cost granularity. *)
+      let delta = 0.5 *. Rrg.min_unit_cost rrg in
+      let delta = if delta > 0. then delta else 0.5 in
+      let cache =
+        G.Dist_cache.create ?restrict ~targeted:pool.targeted ~heap:pool.pq_impl ~delta
+          pool.pool_graph
+      in
       Hashtbl.add pool.caches key cache;
       cache
 
@@ -162,6 +185,9 @@ let pool_runs pool = Hashtbl.fold (fun _ c acc -> acc + G.Dist_cache.runs c) poo
 
 let pool_settled pool =
   Hashtbl.fold (fun _ c acc -> acc + G.Dist_cache.settled_nodes c) pool.caches 0
+
+let pool_h_evals pool =
+  Hashtbl.fold (fun _ c acc -> acc + G.Dist_cache.future_cost_evals c) pool.caches 0
 
 (* ------------------------------------------------------------------ *)
 (* Per-net routing                                                     *)
@@ -188,9 +214,21 @@ let candidates_for rrg cfg pred =
     List.filteri (fun i _ -> i mod stride = 0) !acc
   end
 
+(* One heuristic per net, over all its terminals: a lower bound to the
+   nearest of a superset is still a lower bound to any queried subset, so
+   every targeted query the construction makes through this cache shares
+   it (and the per-net identity keys the cache entries, see Dist_cache).
+   Cleared when A* is off so the solve runs plain. *)
+let set_net_heuristic cache rrg cfg (cnet : C.Net.t) =
+  G.Dist_cache.set_future_cost cache
+    (if cfg.astar then
+       Some (Rrg.future_cost rrg ~targets:(cnet.C.Net.source :: cnet.C.Net.sinks))
+     else None)
+
 let solve_tree_alg pool alg rrg cfg net ~restricted =
   let cnet = Netlist.rrg_net rrg net in
   let cache = pool_cache pool rrg cfg net ~restricted in
+  set_net_heuristic cache rrg cfg cnet;
   let pred = if restricted then bbox_pred rrg cfg net else fun _ -> true in
   let candidates = candidates_for rrg cfg pred in
   alg.C.Routing_alg.solve ~candidates cache ~net:cnet
@@ -209,6 +247,12 @@ let solve_two_pin pool rrg cfg net ~restricted =
      journal back to this mark — no per-node bookkeeping. *)
   let cp = G.Gstate.checkpoint g in
   let route_sink edges sink =
+    (* Per-sink heuristic: each connection is a pure point-to-point
+       search, the sharpest case for goal-direction.  Claiming the
+       previous connection's wires bumped the graph version, so no
+       frontier survives between sinks anyway. *)
+    G.Dist_cache.set_future_cost cache
+      (if cfg.astar then Some (Rrg.future_cost rrg ~targets:[ sink ]) else None);
     let r = G.Dist_cache.result_for cache ~src ~targets:[ sink ] in
     if not (G.Dijkstra.reachable r sink) then begin
       G.Gstate.rollback g cp;
@@ -560,6 +604,12 @@ let route ?(config = default_config) ?(domains = 1) rrg circuit =
       | None -> 0
       | Some ctx -> Array.fold_left (fun a p -> a + pool_settled p) 0 ctx.dcaches
   in
+  let all_h_evals () =
+    pool_h_evals caches
+    + match par with
+      | None -> 0
+      | Some ctx -> Array.fold_left (fun a p -> a + pool_h_evals p) 0 ctx.dcaches
+  in
   (* Early cutoff: if the number of failing nets has not improved for
      [stall_limit] consecutive passes, the width is hopeless — declaring
      failure early saves most of the downward-infeasible probes. *)
@@ -588,6 +638,8 @@ let route ?(config = default_config) ?(domains = 1) rrg circuit =
           domains;
           par_batches = !par_batches;
           par_conflicts = !par_conflicts;
+          future_cost_evals = all_h_evals ();
+          heap_impl = G.Pq.impl_name config.heap;
         }
     end
     else begin
@@ -678,6 +730,8 @@ let route ?(config = default_config) ?(domains = 1) rrg circuit =
               domains;
               par_batches = !par_batches;
               par_conflicts = !par_conflicts;
+              future_cost_evals = all_h_evals ();
+              heap_impl = G.Pq.impl_name config.heap;
             }
         end
         else begin

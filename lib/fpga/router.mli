@@ -75,6 +75,18 @@ type config = {
           [false] forces every search to settle its whole (restricted)
           graph — the pre-targeting behavior, kept for A/B benchmarking.
           Routed trees are identical either way; only the work differs. *)
+  astar : bool;
+      (** goal-direct every targeted search with the admissible Manhattan
+          future-cost bound ({!Rrg.future_cost}) — one heuristic per net
+          over all its terminals, or per sink in two-pin decomposition
+          (default [true]).  Because relaxation canonicalizes
+          equal-distance parents (see {!Fr_graph.Dijkstra}), routed trees
+          are bit-identical with or without it; only the number of settled
+          nodes changes. *)
+  heap : Fr_graph.Pq.impl;
+      (** frontier implementation behind every search (default
+          {!Fr_graph.Pq.Bucket}, calibrated to the RRG's 0.5 base-cost
+          quantum).  Trees are bit-identical across implementations. *)
   par_batch : int;
       (** cap on nets per speculative batch (default 8); [1] disables
           batching — every net solves against the live state serially *)
@@ -94,7 +106,14 @@ type config = {
 
 val default_config : config
 
-val config_with : ?alg:Fr_core.Routing_alg.t -> ?max_passes:int -> ?mode:mode -> unit -> config
+val config_with :
+  ?alg:Fr_core.Routing_alg.t ->
+  ?max_passes:int ->
+  ?mode:mode ->
+  ?astar:bool ->
+  ?heap:Fr_graph.Pq.impl ->
+  unit ->
+  config
 
 type routed_net = {
   net : Netlist.net;
@@ -139,6 +158,11 @@ type stats = {
   par_conflicts : int;
       (** speculative trees invalidated by a batch-mate's commit and
           re-solved serially *)
+  future_cost_evals : int;
+      (** heuristic evaluations performed by goal-directed searches
+          (0 when [astar = false]) *)
+  heap_impl : string;
+      (** {!Fr_graph.Pq.impl_name} of the frontier implementation used *)
 }
 
 type failure = {

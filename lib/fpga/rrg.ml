@@ -38,6 +38,11 @@ type kind =
 type t = {
   arch : Arch.t;
   graph : G.Gstate.t;
+  (* Minimum enabled base cost per unit of Manhattan channel distance,
+     computed once at build over every edge: the admissible scale for
+     {!future_cost}.  (1.0 for this builder: every edge's base weight
+     equals its endpoints' L1 separation, jogs only add.) *)
+  min_unit_cost : float;
 }
 
 (* Node layout: horizontal wires, then vertical wires, then pins. *)
@@ -78,11 +83,10 @@ let hwire t ~y ~x ~track = hwire_id t.arch ~y ~x ~track
 let vwire t ~x ~y ~track = vwire_id t.arch ~x ~y ~track
 let pin t ~row ~col ~side ~slot = pin_id t.arch ~row ~col ~side ~slot
 
-let kind t v =
-  let a = t.arch in
+let kind_of a v =
   let r, c, w, s = dims a in
   let nh = n_hwires a and nv = n_vwires a in
-  if v < 0 || v >= nh + nv + n_pins a then invalid_arg "Rrg.kind: node out of range";
+  if v < 0 || v >= nh + nv + n_pins a then invalid_arg "Rrg.kind_of: node out of range";
   if v < nh then begin
     let track = v mod w and seg = v / w in
     let x = seg mod c and y = seg / c in
@@ -103,15 +107,25 @@ let kind t v =
     Pin (blk / c, blk mod c, side, slot)
   end
 
+let kind t v = kind_of t.arch v
+
 let num_wires t = n_hwires t.arch + n_vwires t.arch
 
 let is_wire t v = v < num_wires t
 
-let pos t v =
-  match kind t v with
+(* Channel-coordinate geometry: a horizontal wire sits at the middle of
+   its segment on channel line y, a vertical wire at the middle of its
+   segment on channel line x, a pin at its block's center.  Adjacent
+   switch edges span exactly L1 distance 1.0 (wire-wire) or 0.5
+   (pin-wire) under this embedding — the fact {!future_cost}'s
+   admissibility rests on. *)
+let pos_of a v =
+  match kind_of a v with
   | Wire (H (y, x), _) -> (float_of_int x +. 0.5, float_of_int y)
   | Wire (V (x, y), _) -> (float_of_int x, float_of_int y +. 0.5)
   | Pin (row, col, _, _) -> (float_of_int col +. 0.5, float_of_int row +. 0.5)
+
+let pos t v = pos_of t.arch v
 
 let wires_of_segment t seg =
   let w = t.arch.Arch.channel_width in
@@ -223,6 +237,65 @@ let build ?(jog_penalty = 0.) arch =
         all_sides
     done
   done;
-  { arch; graph = G.Gstate.of_builder g }
+  let graph = G.Gstate.of_builder g in
+  (* The admissible per-unit scale: min over edges of base weight / L1
+     endpoint separation.  Every edge above has weight >= its L1 length
+     (wire-wire: 1 (+ jog) over distance 1; pin-wire: 0.5 over 0.5), so
+     this is 1.0 — but computing it keeps the bound correct if the
+     builder's costs ever change. *)
+  let min_unit_cost = ref infinity in
+  for e = 0 to G.Gstate.num_edges graph - 1 do
+    let u, v = G.Gstate.endpoints graph e in
+    let ux, uy = pos_of arch u and vx, vy = pos_of arch v in
+    let l1 = abs_float (ux -. vx) +. abs_float (uy -. vy) in
+    if l1 > 1e-9 then begin
+      let ratio = G.Gstate.weight graph e /. l1 in
+      if ratio < !min_unit_cost then min_unit_cost := ratio
+    end
+  done;
+  let min_unit_cost = if !min_unit_cost < infinity then !min_unit_cost else 0. in
+  { arch; graph; min_unit_cost }
+
+let min_unit_cost t = t.min_unit_cost
+
+(* Admissible, consistent future-cost bound toward [targets]: Manhattan
+   channel distance to the nearest target, scaled by the minimum base
+   cost per unit distance.
+
+   Admissible: any path from v to a target t traverses edges whose base
+   weights sum to at least [min_unit_cost * L1(v, t)] (each edge costs at
+   least min_unit_cost times its own L1 span, and L1 is a metric), and
+   run-time prices only inflate base weights — Waves congestion adds
+   positive increments, {!Fr_graph.Cost_model} multiplies by factors
+   >= 1, and disabling resources removes paths — so the bound only gets
+   slacker.  A jog_penalty likewise only adds to turning edges, so the
+   bound needs no term for it to stay admissible.
+   Consistent: |h(u) - h(v)| <= min_unit_cost * L1(u, v) <= w(u, v) by
+   the triangle inequality, for every enabled edge.
+   Both properties hold at every node for any target set, so the bound is
+   valid for queries against any subset of [targets] (min over a superset
+   is still a lower bound) — the router builds one heuristic per net over
+   all its terminals and uses it for every query of that net's solve. *)
+let future_cost t ~targets =
+  let scale = t.min_unit_cost in
+  let k = List.length targets in
+  let xs = Array.make k 0. and ys = Array.make k 0. in
+  List.iteri
+    (fun i v ->
+      let x, y = pos_of t.arch v in
+      xs.(i) <- x;
+      ys.(i) <- y)
+    targets;
+  G.Dijkstra.heuristic (fun v ->
+      if k = 0 then 0.
+      else begin
+        let x, y = pos_of t.arch v in
+        let best = ref infinity in
+        for i = 0 to k - 1 do
+          let d = abs_float (x -. xs.(i)) +. abs_float (y -. ys.(i)) in
+          if d < !best then best := d
+        done;
+        scale *. !best
+      end)
 
 let read_only_view t = { t with graph = G.Gstate.read_only_view t.graph }

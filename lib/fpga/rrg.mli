@@ -42,6 +42,10 @@ type kind =
 type t = private {
   arch : Arch.t;
   graph : Fr_graph.Gstate.t;
+  min_unit_cost : float;
+      (** minimum enabled base cost per unit of Manhattan channel
+          distance, computed at build — the admissible {!future_cost}
+          scale (1.0 for this builder) *)
 }
 
 val build : ?jog_penalty:float -> Arch.t -> t
@@ -65,8 +69,28 @@ val num_wires : t -> int
 val is_wire : t -> int -> bool
 
 val pos : t -> int -> float * float
-(** Approximate (x, y) position in block coordinates, for bounding-box
-    candidate pruning. *)
+(** (x, y) channel-coordinate position: a horizontal wire at the middle
+    of its segment on channel line y, a vertical wire at the middle of
+    its segment on channel line x, a pin at its block's center.  Used for
+    bounding-box candidate pruning and as the geometry under
+    {!future_cost} — adjacent switch edges span exactly L1 distance 1.0
+    (wire–wire) or 0.5 (pin–wire) in this embedding. *)
+
+val min_unit_cost : t -> float
+(** Minimum enabled base cost per unit of Manhattan channel distance
+    (1.0 for this builder); also the natural {!Fr_graph.Pq.Bucket} cost
+    quantum divided by 2 (pin edges cost half a unit). *)
+
+val future_cost : t -> targets:int list -> Fr_graph.Dijkstra.heuristic
+(** Admissible, consistent future-cost lower bound toward [targets]:
+    Manhattan channel distance from {!pos} to the nearest target, scaled
+    by {!min_unit_cost}.  Admissibility holds at every node for any
+    target set and survives every run-time repricing the router performs
+    (Waves congestion adds, {!Fr_graph.Cost_model} multiplies by factors
+    >= 1, jog penalties only add, disabling removes paths), so one per-net
+    heuristic over all terminals is valid for every query of that net's
+    solve.  Verified by property test on seeded random architectures in
+    both base-cost and Cost_model-priced states. *)
 
 val wires_of_segment : t -> seg -> int list
 (** All W wire nodes of a channel segment (enabled or not). *)

@@ -1,5 +1,24 @@
 module Bitset = Fr_util.Bitset
 
+(* A future-cost lower bound h carries an identity so caches can key
+   memoized frontiers on it: a frontier opened under one h must never be
+   resumed under another (the settled prefix would no longer be an
+   f-order prefix).  Ids come from a global atomic counter — they only
+   ever feed cache keys, never search results, so the process-global
+   state cannot perturb determinism across domains. *)
+type heuristic = {
+  hid : int;
+  hf : int -> float;
+}
+
+let heuristic_ids = Atomic.make 0
+
+let heuristic hf = { hid = Atomic.fetch_and_add heuristic_ids 1; hf }
+
+let heuristic_id h = h.hid
+
+let heuristic_eval h = h.hf
+
 (* Resumption state: everything needed to settle more nodes later.  The
    dist/parent arrays of the owning [result] are refined in place, so a
    partial run transparently *extends* into a full one. *)
@@ -8,7 +27,9 @@ type state = {
   ver : int;  (* Gstate.version at creation; resuming after a mutation is unsound *)
   allowed : int -> bool;
   edge_allowed : Gstate.edge -> bool;
-  heap : Heap.t;
+  pq : Pq.t;
+  future : heuristic option;
+  mutable h_evals : int;
   settled : bool array;
   mutable settled_count : int;
   mutable exhausted : bool;
@@ -24,14 +45,36 @@ type result = {
 
 let settled_count r = r.state.settled_count
 
+let future_cost_evals r = r.state.h_evals
+
 let is_settled r v = r.state.settled.(v)
 
 let complete r = r.state.exhausted
 
-(* Settle nodes in distance order until [stop u] holds for a just-settled
-   node [u], or the heap runs dry.  The inner loop walks the CSR arrays of
+(* Settle nodes in frontier order until [stop u] holds for a just-settled
+   node [u], or the queue runs dry.  The inner loop walks the CSR arrays of
    the frozen topology directly — no closure per edge, no bounds checks —
-   which is the point of the Topology/Gstate split. *)
+   which is the point of the Topology/Gstate split.
+
+   Frontier keys are f = g + h (plain g when no heuristic), with the true
+   distance g as tie and the push sequence breaking full ties, so pops
+   follow strict (f, g, seq) order.  Under an admissible *and consistent*
+   h every edge satisfies h(u) <= w(u,v) + h(v), hence f never decreases
+   along a shortest path and a node's first pop carries its final g — the
+   settled-prefix-is-final invariant survives goal-direction unchanged
+   (argument in DESIGN.md §4.8).  [dist] always stores g, never f; the
+   popped priority is only an ordering key and is re-read from [dist].
+
+   Relaxation is canonical: a strictly shorter path replaces dist and
+   parent; an *equally* short path re-points the parent at the smaller
+   edge id without re-pushing (same g, same f — the queued entry is still
+   correctly keyed).  Every optimal predecessor of v pops before v does
+   (its f is <= v's by consistency, and its g is strictly smaller since
+   weights are positive, so the (f, g, seq) order places it first), so
+   after v settles its parent is the minimum-edge-id optimal predecessor —
+   a pure graph property, independent of the queue implementation and of
+   whether a heuristic was supplied.  That is what keeps routed trees
+   bit-identical across A* on/off and binary/bucket queues. *)
 let drain_until r stop =
   let st = r.state in
   let topo = Gstate.topology st.g in
@@ -41,15 +84,17 @@ let drain_until r stop =
   let settled = st.settled in
   let dist = r.dist and parent_edge = r.parent_edge and parent_node = r.parent_node in
   let rec loop () =
-    match Heap.pop_min st.heap with
+    match Pq.pop_min st.pq with
     | None -> st.exhausted <- true
-    | Some (d, u) ->
+    | Some (_, u) ->
         if Array.unsafe_get settled u then loop ()
         else begin
           Array.unsafe_set settled u true;
           st.settled_count <- st.settled_count + 1;
-          (* [d] can be stale only if u was reachable more cheaply, in which
-             case settled.(u) was already set.  Here d = dist.(u). *)
+          (* The popped key can be stale only if u was reachable more
+             cheaply, in which case settled.(u) was already set.  Here the
+             entry is fresh and dist.(u) = g(u) is final. *)
+          let d = Array.unsafe_get dist u in
           if Bitset.get n_on u then begin
             let k = ref (Array.unsafe_get off u) in
             let hi = Array.unsafe_get off (u + 1) in
@@ -63,11 +108,25 @@ let drain_until r stop =
                 && st.allowed v && st.edge_allowed e
               then begin
                 let nd = d +. Array.unsafe_get wts e in
-                if nd < Array.unsafe_get dist v then begin
+                let dv = Array.unsafe_get dist v in
+                if nd < dv then begin
                   Array.unsafe_set dist v nd;
                   Array.unsafe_set parent_edge v e;
                   Array.unsafe_set parent_node v u;
-                  Heap.push st.heap nd v
+                  let f =
+                    match st.future with
+                    | None -> nd
+                    | Some h ->
+                        st.h_evals <- st.h_evals + 1;
+                        nd +. h.hf v
+                  in
+                  Pq.push st.pq ~prio:f ~tie:nd v
+                end
+                else if nd <= dv && e < Array.unsafe_get parent_edge v then begin
+                  (* nd = dv: same g, same f — canonicalize the parent to
+                     the smallest edge id, no re-push needed. *)
+                  Array.unsafe_set parent_edge v e;
+                  Array.unsafe_set parent_node v u
                 end
               end;
               k := !k + 2
@@ -111,7 +170,7 @@ let extend_from r ~what ~targets =
 
 let extend r ~targets = extend_from r ~what:"extend" ~targets
 
-let run ?restrict ?edge_ok ?targets g ~src =
+let run ?restrict ?edge_ok ?targets ?future_cost ?(heap = Pq.Binary) ?delta g ~src =
   let n = Gstate.num_nodes g in
   if src < 0 || src >= n then invalid_arg "Dijkstra.run: bad source";
   let allowed = match restrict with None -> fun _ -> true | Some p -> fun u -> u = src || p u in
@@ -122,7 +181,9 @@ let run ?restrict ?edge_ok ?targets g ~src =
       ver = Gstate.version g;
       allowed;
       edge_allowed;
-      heap = Heap.create ~capacity:64 ();
+      pq = Pq.create ~capacity:64 ?delta heap;
+      future = future_cost;
+      h_evals = 0;
       settled = Array.make n false;
       settled_count = 0;
       exhausted = false;
@@ -138,14 +199,23 @@ let run ?restrict ?edge_ok ?targets g ~src =
     }
   in
   r.dist.(src) <- 0.;
-  Heap.push state.heap 0. src;
+  let f0 =
+    match future_cost with
+    | None -> 0.
+    | Some h ->
+        state.h_evals <- 1;
+        h.hf src
+  in
+  Pq.push state.pq ~prio:f0 ~tie:0. src;
   (match targets with
   | None -> extend_all r
   | Some ts -> extend_from r ~what:"run" ~targets:ts);
   r
 
 (* Accessors settle on demand, so a targeted result answers queries beyond
-   its original targets exactly like a full run would. *)
+   its original targets exactly like a full run would.  This holds under a
+   heuristic too: consistency makes every settled node's g exact whatever
+   the original target set was — h only shapes the settling *order*. *)
 let ensure r ~what v =
   let st = r.state in
   if not (st.exhausted || st.settled.(v)) then begin

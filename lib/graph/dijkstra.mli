@@ -1,5 +1,6 @@
 (** Dijkstra single-source shortest paths (paper reference [16]), with
-    target-bounded early termination and transparent resumption.
+    target-bounded early termination, transparent resumption, and optional
+    A-star goal-direction.
 
     Used everywhere: distance graphs for KMB/ZEL (§8), dominance tests
     (Def 4.1), the DJKA baseline (§5), and path embedding for all
@@ -7,20 +8,51 @@
 
     A run made with [~targets] settles only as much of the graph as needed
     to finalize those nodes; the returned {!result} keeps its frontier
-    (heap + settled set) so later queries {e resume} the search instead of
-    recomputing it.  All accessor functions ({!dist}, {!reachable},
-    {!path_edges}, …) settle on demand, so a targeted result answers every
-    query with exactly the values a full run would produce. *)
+    (priority queue + settled set) so later queries {e resume} the search
+    instead of recomputing it.  All accessor functions ({!dist},
+    {!reachable}, {!path_edges}, …) settle on demand, so a targeted result
+    answers every query with exactly the values a full run would produce.
+
+    {b Goal-direction.}  With [~future_cost:h] the frontier is ordered by
+    [f = g + h(v)] while [dist] keeps the true [g]; ties on [f] break by
+    [g], then push order.  When [h] is admissible ([h(v)] never exceeds
+    the true remaining distance) {e and} consistent
+    ([h(u) <= w(u,v) + h(v)] on every enabled edge, with [h >= 0] and all
+    edge weights strictly positive), every settled node's [g] is final at
+    settle time — the same settled-prefix-is-final invariant as plain
+    Dijkstra, so resumption and all accessors work identically (the
+    invariant argument is in DESIGN.md §4.8).  Relaxation canonicalizes
+    equal-distance parents to the smallest edge id, which makes the
+    shortest-path {e tree} a pure graph property: bit-identical whether or
+    not a heuristic is supplied and whichever {!Pq} implementation backs
+    the frontier. *)
+
+type heuristic
+(** A future-cost lower bound [h : node -> float] tagged with a process-
+    unique identity ({!heuristic_id}), so caches can refuse to resume a
+    frontier under a different [h]. *)
+
+val heuristic : (int -> float) -> heuristic
+(** Wrap a future-cost function, assigning it a fresh identity.  The
+    caller promises admissibility and consistency (see above); the search
+    does not check them — the property tests in the test tree do. *)
+
+val heuristic_id : heuristic -> int
+
+val heuristic_eval : heuristic -> int -> float
+(** Apply the wrapped bound to a node — for the property tests that check
+    admissibility and consistency of a producer's heuristic. *)
 
 type state
-(** Opaque resumption state (frontier heap, settled set, counters). *)
+(** Opaque resumption state (frontier queue, settled set, counters). *)
 
 type result = {
   src : int;
   dist : float array;
-      (** [infinity] where unreachable.  Raw reads are final only for
-          settled nodes (see {!is_settled}/{!complete}); use {!dist} or
-          {!extend} first when the result may be partial. *)
+      (** True distances [g] ([infinity] where unreachable) — never the
+          heuristic-augmented key.  Raw reads are final only for settled
+          nodes (see {!is_settled}/{!complete}); use {!dist} or {!extend}
+          first when the result may be partial. *)
   parent_edge : int array;  (** [-1] at the source / unreached nodes *)
   parent_node : int array;  (** [-1] at the source / unreached nodes *)
   state : state;
@@ -30,6 +62,9 @@ val run :
   ?restrict:(int -> bool) ->
   ?edge_ok:(Gstate.edge -> bool) ->
   ?targets:int list ->
+  ?future_cost:heuristic ->
+  ?heap:Pq.impl ->
+  ?delta:float ->
   Gstate.t ->
   src:int ->
   result
@@ -39,7 +74,10 @@ val run :
     edges (used to compute shortest-path trees inside the union subgraph of
     the arborescence constructions).  [targets], when given, stops the
     search as soon as every listed node is settled (unreachable targets
-    exhaust the search); without it the whole graph is settled. *)
+    exhaust the search); without it the whole graph is settled.
+    [future_cost] goal-directs the search (see above).  [heap] selects the
+    frontier implementation (default {!Pq.Binary}); [delta] is the
+    {!Pq.Bucket} quantum. *)
 
 val extend : result -> targets:int list -> unit
 (** Resume a partial run until every listed node is settled (or the search
@@ -55,6 +93,10 @@ val extend_all : result -> unit
 val settled_count : result -> int
 (** Number of nodes settled so far — the unit of Dijkstra work that
     {!Dist_cache} budgets and benchmarks report. *)
+
+val future_cost_evals : result -> int
+(** Heuristic evaluations performed by this search so far (0 when no
+    [future_cost] was supplied). *)
 
 val is_settled : result -> int -> bool
 (** Whether this node's [dist]/parent entries are final. *)

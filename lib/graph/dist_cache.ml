@@ -3,12 +3,24 @@ type entry = {
   mutable tick : int;  (* last-touch LRU clock value *)
 }
 
+(* Entries are keyed by (source, heuristic id): a frontier opened under
+   one future-cost function is never resumed under another (or under
+   none), because only its own h keeps the settled prefix an f-order
+   prefix.  [no_heuristic] keys plain runs — including every complete
+   ([targets = None]) lookup, which bypasses the heuristic entirely so
+   full-distance-array consumers (ZEL/DJKA/BRBC/dominance/eval) always
+   see plain Dijkstra. *)
+let no_heuristic = -1
+
 type t = {
   g : Gstate.t;
   restrict : (int -> bool) option;
   targeted : bool;
+  heap : Pq.impl;
+  delta : float option;
   capacity : int;
-  table : (int, entry) Hashtbl.t;
+  table : (int * int, entry) Hashtbl.t;
+  mutable future : Dijkstra.heuristic option;
   mutable stamp : int;
   mutable clock : int;
   (* Monotone lifetime counters; survive invalidations and evictions. *)
@@ -17,18 +29,23 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable settled_gone : int;  (* settled nodes of dropped entries *)
+  mutable h_evals_gone : int;  (* future-cost evals of dropped entries *)
 }
 
 let default_capacity = 1024
 
-let create ?restrict ?(targeted = true) ?(capacity = default_capacity) g =
+let create ?restrict ?(targeted = true) ?(capacity = default_capacity) ?(heap = Pq.Binary)
+    ?delta g =
   if capacity < 1 then invalid_arg "Dist_cache.create: capacity must be >= 1";
   {
     g;
     restrict;
     targeted;
+    heap;
+    delta;
     capacity;
     table = Hashtbl.create 64;
+    future = None;
     stamp = Gstate.version g;
     clock = 0;
     runs = 0;
@@ -36,12 +53,21 @@ let create ?restrict ?(targeted = true) ?(capacity = default_capacity) g =
     misses = 0;
     evictions = 0;
     settled_gone = 0;
+    h_evals_gone = 0;
   }
 
 let graph t = t.g
 
+let set_future_cost t h = t.future <- h
+
+let future_cost t = t.future
+
+let account_drop t e =
+  t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res;
+  t.h_evals_gone <- t.h_evals_gone + Dijkstra.future_cost_evals e.res
+
 let drop_all t =
-  Hashtbl.iter (fun _ e -> t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res) t.table;
+  Hashtbl.iter (fun _ e -> account_drop t e) t.table;
   Hashtbl.reset t.table
 
 let invalidate t =
@@ -59,25 +85,30 @@ let touch t e =
 let evict_lru t =
   let victim = ref None in
   Hashtbl.iter
-    (fun src e ->
+    (fun key e ->
       match !victim with
       | Some (_, tick) when tick <= e.tick -> ()
-      | _ -> victim := Some (src, e.tick))
+      | _ -> victim := Some (key, e.tick))
     t.table;
   match !victim with
   | None -> ()
-  | Some (src, _) ->
-      let e = Hashtbl.find t.table src in
-      t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res;
-      Hashtbl.remove t.table src;
+  | Some (key, _) ->
+      let e = Hashtbl.find t.table key in
+      account_drop t e;
+      Hashtbl.remove t.table key;
       t.evictions <- t.evictions + 1
 
 (* Look up (or run) the per-source result, bounded to [targets] when the
-   cache is in targeted mode.  [targets = None] demands a complete result. *)
+   cache is in targeted mode.  [targets = None] demands a complete result
+   and always runs plain (see [no_heuristic] above); targeted lookups use
+   the current future-cost function, whose id extends the key. *)
 let lookup t ~src ~targets =
   refresh t;
   let targets = if t.targeted then targets else None in
-  match Hashtbl.find_opt t.table src with
+  let future = match targets with None -> None | Some _ -> t.future in
+  let hid = match future with None -> no_heuristic | Some h -> Dijkstra.heuristic_id h in
+  let key = (src, hid) in
+  match Hashtbl.find_opt t.table key with
   | Some e ->
       t.hits <- t.hits + 1;
       touch t e;
@@ -87,12 +118,15 @@ let lookup t ~src ~targets =
       e.res
   | None ->
       t.misses <- t.misses + 1;
-      let res = Dijkstra.run ?restrict:t.restrict ?targets t.g ~src in
+      let res =
+        Dijkstra.run ?restrict:t.restrict ?targets ?future_cost:future ~heap:t.heap
+          ?delta:t.delta t.g ~src
+      in
       t.runs <- t.runs + 1;
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
       let e = { res; tick = 0 } in
       touch t e;
-      Hashtbl.add t.table src e;
+      Hashtbl.add t.table key e;
       res
 
 let result t ~src = lookup t ~src ~targets:None
@@ -103,9 +137,12 @@ let dist t ~src ~dst = Dijkstra.dist (result_for t ~src ~targets:[ dst ]) dst
 
 let path_edges t ~src ~dst = Dijkstra.path_edges (result_for t ~src ~targets:[ dst ]) dst
 
+(* "Cached" means: the entry the next targeted lookup would use — keyed
+   under the current heuristic (plain when none is set) — is live. *)
 let cached t src =
   refresh t;
-  Hashtbl.mem t.table src
+  let hid = match t.future with None -> no_heuristic | Some h -> Dijkstra.heuristic_id h in
+  Hashtbl.mem t.table (src, hid)
 
 let pick_cached_side t a b = if cached t a then (a, b) else if cached t b then (b, a) else (a, b)
 
@@ -127,3 +164,6 @@ let evictions t = t.evictions
 
 let settled_nodes t =
   Hashtbl.fold (fun _ e acc -> acc + Dijkstra.settled_count e.res) t.table t.settled_gone
+
+let future_cost_evals t =
+  Hashtbl.fold (fun _ e acc -> acc + Dijkstra.future_cost_evals e.res) t.table t.h_evals_gone

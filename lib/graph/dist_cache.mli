@@ -20,6 +20,16 @@
     - {b LRU capacity bound.}  At most [capacity] per-source entries are
       kept; inserting past the bound evicts the least-recently-used source.
 
+    {b Goal-direction.}  A future-cost lower bound installed with
+    {!set_future_cost} goal-directs every {e targeted} lookup.  Entries
+    are keyed by [(source, heuristic id)], so a frontier opened under one
+    heuristic is never resumed under a different one (or under none) —
+    only its own [h] keeps the settled prefix an f-order prefix.
+    Complete lookups ({!result}, [targets = None]) always run {e plain}
+    Dijkstra under a dedicated key: the KMB/ZEL distance-graph and
+    full-array consumers read exact distances at every index and gain
+    nothing from goal-direction, so they bypass it entirely.
+
     Hit/miss/eviction/settled-node counters expose the layer's behavior to
     benchmarks and tests.
 
@@ -30,26 +40,42 @@
     {!Gstate.read_only_view}; within one cache all mutation is owner-local,
     and the underlying graph is only read, so concurrent waves are race-free.
     Cache state never changes {e results}: a hit resumes the same search a
-    miss would start, and settled prefixes of a Dijkstra run are final, so
-    per-domain caches with different contents still return bit-identical
-    distances and paths. *)
+    miss would start, and settled prefixes of a Dijkstra run are final
+    (with or without a heuristic), so per-domain caches with different
+    contents still return bit-identical distances and paths. *)
 
 type t
 
-val create : ?restrict:(int -> bool) -> ?targeted:bool -> ?capacity:int -> Gstate.t -> t
+val create :
+  ?restrict:(int -> bool) ->
+  ?targeted:bool ->
+  ?capacity:int ->
+  ?heap:Pq.impl ->
+  ?delta:float ->
+  Gstate.t ->
+  t
 (** [restrict] applies to every memoized Dijkstra run (candidate-pruning on
     big routing graphs); callers must ensure all nodes they query satisfy
     it.  [targeted] (default [true]) enables target-bounded partial runs;
     [false] forces every run to settle the whole graph (the pre-targeting
     behavior, kept for A/B benchmarking).  [capacity] (default 1024) bounds
-    the number of cached sources; the least recently used is evicted. *)
+    the number of cached sources; the least recently used is evicted.
+    [heap] (default {!Pq.Binary}) backs every search's frontier; [delta]
+    is the {!Pq.Bucket} quantum. *)
 
 val graph : t -> Gstate.t
+
+val set_future_cost : t -> Dijkstra.heuristic option -> unit
+(** Install (or clear) the future-cost bound used by subsequent targeted
+    lookups.  The router sets a fresh per-net heuristic before each solve;
+    existing entries stay valid under their own keys. *)
+
+val future_cost : t -> Dijkstra.heuristic option
 
 val result : t -> src:int -> Dijkstra.result
 (** The memoized single-source result, {e complete} (every reachable node
     settled, so raw [dist] array reads are final), recomputed if the graph
-    changed. *)
+    changed.  Always plain Dijkstra — never goal-directed. *)
 
 val result_for : t -> src:int -> targets:int list -> Dijkstra.result
 (** Like {!result} but only guarantees the listed nodes are settled — the
@@ -62,7 +88,9 @@ val dist : t -> src:int -> dst:int -> float
 val path_edges : t -> src:int -> dst:int -> Gstate.edge list
 
 val cached : t -> int -> bool
-(** Whether a memoized result for this source is currently valid. *)
+(** Whether the entry the next targeted lookup for this source would use
+    (keyed under the currently installed heuristic, or plain when none) is
+    currently valid. *)
 
 val dist_sym : t -> int -> int -> float
 (** [dist_sym t a b] = [dist t ~src:a ~dst:b], but served from whichever of
@@ -95,3 +123,7 @@ val settled_nodes : t -> int
 (** Total nodes settled by every search this cache ever ran, including
     entries since evicted or invalidated — the work metric the bench
     compares between targeted and full modes. *)
+
+val future_cost_evals : t -> int
+(** Total heuristic evaluations across every search this cache ever ran
+    (same lifetime accounting as {!settled_nodes}). *)

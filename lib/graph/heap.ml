@@ -1,39 +1,83 @@
+(* Entries are ordered by (prio, tie, seq) lexicographically; [seq] is a
+   per-heap push counter, so full ties pop in FIFO order.  The total order
+   makes the popped sequence a pure function of the pushed multiset — the
+   contract {!Pq} relies on to keep its two implementations
+   pop-for-pop identical. *)
 type t = {
   mutable prio : float array;
+  mutable tie : float array;
+  mutable seq : int array;
   mutable data : int array;
   mutable len : int;
+  mutable next_seq : int;
 }
 
 let create ?(capacity = 16) () =
   let capacity = max capacity 1 in
-  { prio = Array.make capacity 0.; data = Array.make capacity 0; len = 0 }
+  {
+    prio = Array.make capacity 0.;
+    tie = Array.make capacity 0.;
+    seq = Array.make capacity 0;
+    data = Array.make capacity 0;
+    len = 0;
+    next_seq = 0;
+  }
 
 let is_empty h = h.len = 0
 
 let size h = h.len
 
-let clear h = h.len <- 0
+let capacity h = Array.length h.prio
+
+(* Drops the entries but keeps the allocated arrays, so a heap reused
+   across many searches (negotiated iterations, resumed frontiers) never
+   re-pays allocation churn. *)
+let clear h =
+  h.len <- 0;
+  h.next_seq <- 0
 
 let grow h =
   let cap = Array.length h.prio in
   let ncap = 2 * cap in
-  let prio = Array.make ncap 0. and data = Array.make ncap 0 in
+  let prio = Array.make ncap 0.
+  and tie = Array.make ncap 0.
+  and seq = Array.make ncap 0
+  and data = Array.make ncap 0 in
   Array.blit h.prio 0 prio 0 h.len;
+  Array.blit h.tie 0 tie 0 h.len;
+  Array.blit h.seq 0 seq 0 h.len;
   Array.blit h.data 0 data 0 h.len;
   h.prio <- prio;
+  h.tie <- tie;
+  h.seq <- seq;
   h.data <- data
 
 let swap h i j =
-  let p = h.prio.(i) and d = h.data.(i) in
+  let p = h.prio.(i) and t = h.tie.(i) and s = h.seq.(i) and d = h.data.(i) in
   h.prio.(i) <- h.prio.(j);
+  h.tie.(i) <- h.tie.(j);
+  h.seq.(i) <- h.seq.(j);
   h.data.(i) <- h.data.(j);
   h.prio.(j) <- p;
+  h.tie.(j) <- t;
+  h.seq.(j) <- s;
   h.data.(j) <- d
+
+(* Strict (prio, tie, seq) order, written with [<] only so float NaN never
+   reaches a polymorphic comparison. *)
+let less h i j =
+  let pi = h.prio.(i) and pj = h.prio.(j) in
+  if pi < pj then true
+  else if pj < pi then false
+  else begin
+    let ti = h.tie.(i) and tj = h.tie.(j) in
+    if ti < tj then true else if tj < ti then false else h.seq.(i) < h.seq.(j)
+  end
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.prio.(i) < h.prio.(parent) then begin
+    if less h i parent then begin
       swap h i parent;
       sift_up h parent
     end
@@ -42,18 +86,21 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && h.prio.(l) < h.prio.(!smallest) then smallest := l;
-  if r < h.len && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+  if l < h.len && less h l !smallest then smallest := l;
+  if r < h.len && less h r !smallest then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
-let push h prio x =
+let push ?(tie = 0.) h prio x =
   let cap = Array.length h.prio in
   if h.len = cap then grow h;
   h.prio.(h.len) <- prio;
+  h.tie.(h.len) <- tie;
+  h.seq.(h.len) <- h.next_seq;
   h.data.(h.len) <- x;
+  h.next_seq <- h.next_seq + 1;
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
@@ -66,6 +113,8 @@ let pop_min h =
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.prio.(0) <- h.prio.(h.len);
+      h.tie.(0) <- h.tie.(h.len);
+      h.seq.(0) <- h.seq.(h.len);
       h.data.(0) <- h.data.(h.len);
       sift_down h 0
     end;

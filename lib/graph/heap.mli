@@ -1,17 +1,26 @@
 (** Binary min-heap of [(priority, payload)] pairs.
 
     Supports duplicate payloads; Dijkstra uses lazy deletion (stale entries
-    are skipped on pop), which keeps the structure simple and fast. *)
+    are skipped on pop), which keeps the structure simple and fast.
+
+    Entries are totally ordered by [(priority, tie, seq)] where [seq] is a
+    per-heap push counter: equal keys pop in FIFO push order.  The total
+    order makes the pop sequence a pure function of the pushed multiset
+    (independent of internal array layout), which is what lets {!Pq} keep
+    this heap and the bucket queue pop-for-pop interchangeable. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 
-val push : t -> float -> int -> unit
-(** [push h prio x] inserts payload [x] with priority [prio]. *)
+val push : ?tie:float -> t -> float -> int -> unit
+(** [push h prio x] inserts payload [x] with priority [prio].  [tie]
+    (default [0.]) is the secondary sort key; Dijkstra passes the true
+    distance [g] so that equal [g+h] frontier keys settle in [g] order. *)
 
 val pop_min : t -> (float * int) option
-(** Removes and returns the minimum-priority entry, or [None] if empty. *)
+(** Removes and returns the minimum entry — by [(prio, tie, seq)] — or
+    [None] if empty. *)
 
 val peek_min : t -> (float * int) option
 
@@ -19,4 +28,9 @@ val is_empty : t -> bool
 
 val size : t -> int
 
+val capacity : t -> int
+(** Allocated slots (>= {!size}).  {!clear} retains it. *)
+
 val clear : t -> unit
+(** Empties the heap but keeps its allocated arrays, so reuse across many
+    searches causes no reallocation churn. *)

@@ -1,0 +1,193 @@
+(* Pluggable min-priority queue for Dijkstra frontiers.
+
+   Both implementations obey one contract: entries are popped in strict
+   lexicographic [(prio, tie, seq)] order, where [seq] is the per-queue
+   push counter.  The order is total, so the pop sequence is a pure
+   function of the pushed multiset — swapping implementations can never
+   change a search result, only its speed.  The property test in
+   [test_graph.ml] drives both on random workloads and asserts the
+   sequences are identical.
+
+   The bucket queue is a calendar queue calibrated for Dijkstra's keys:
+   priorities are quantized to [delta]-wide buckets held in a circular
+   ring, the live window [lo, hi) never spans more buckets than the ring
+   has slots (the ring is grown and re-indexed when it would), and a pop
+   scans only the first non-empty bucket for its exact minimum.  On the
+   RRG every edge weight is a multiple of 0.5, so with [delta = 0.5] the
+   in-flight priority span of a monotone search covers a handful of
+   buckets and each scan is O(bucket occupancy).  Correctness does not
+   depend on [delta]: the bucket index is monotone in the priority and
+   equal priorities always share a bucket, so the scan's exact
+   [(prio, tie, seq)] minimum is the global minimum.  Bucket priorities
+   must be finite and non-negative (Dijkstra's always are). *)
+
+type impl =
+  | Binary
+  | Bucket
+
+let impl_name = function Binary -> "binary" | Bucket -> "bucket"
+
+let impl_of_string = function
+  | "binary" -> Some Binary
+  | "bucket" -> Some Bucket
+  | _ -> None
+
+type bucket = {
+  mutable bprio : float array;
+  mutable btie : float array;
+  mutable bseq : int array;
+  mutable bdata : int array;
+  mutable blen : int;
+}
+
+type bucketq = {
+  delta : float;
+  mutable ring : bucket array;  (* bucket of absolute index [a] lives at slot [a mod ring length] *)
+  mutable lo : int;  (* lowest possibly-occupied absolute bucket index *)
+  mutable hi : int;  (* highest occupied absolute bucket index + 1 *)
+  mutable count : int;
+  mutable next_seq : int;
+}
+
+type t =
+  | Bin of Heap.t
+  | Buck of bucketq
+
+let empty_bucket () =
+  { bprio = [||]; btie = [||]; bseq = [||]; bdata = [||]; blen = 0 }
+
+let default_delta = 0.5
+
+let create ?(capacity = 16) ?(delta = default_delta) impl =
+  match impl with
+  | Binary -> Bin (Heap.create ~capacity ())
+  | Bucket ->
+      if not (delta > 0.) then invalid_arg "Pq.create: delta must be positive";
+      let slots = max 16 capacity in
+      Buck
+        {
+          delta;
+          ring = Array.init slots (fun _ -> empty_bucket ());
+          lo = 0;
+          hi = 0;
+          count = 0;
+          next_seq = 0;
+        }
+
+let impl = function Bin _ -> Binary | Buck _ -> Bucket
+
+(* Re-size the ring so the absolute window [lo, hi) fits, relocating live
+   buckets by their absolute index.  The live-window invariant guarantees
+   each absolute index in [q.lo, q.hi) owns a distinct old slot, and the
+   new length covers the requested window, so no two live buckets collide
+   in the new ring.  Buckets move wholesale (array pointers), not entry by
+   entry. *)
+let grow_ring q lo hi =
+  let old = q.ring in
+  let oldlen = Array.length old in
+  let need = hi - lo in
+  let nlen = ref oldlen in
+  while !nlen < need do
+    nlen := 2 * !nlen
+  done;
+  let nring = Array.init !nlen (fun _ -> empty_bucket ()) in
+  for a = q.lo to q.hi - 1 do
+    let b = old.(a mod oldlen) in
+    if b.blen > 0 then nring.(a mod !nlen) <- b
+  done;
+  q.ring <- nring
+
+let bucket_append b ~prio ~tie ~seq x =
+  let cap = Array.length b.bprio in
+  if b.blen = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let bprio = Array.make ncap 0.
+    and btie = Array.make ncap 0.
+    and bseq = Array.make ncap 0
+    and bdata = Array.make ncap 0 in
+    Array.blit b.bprio 0 bprio 0 b.blen;
+    Array.blit b.btie 0 btie 0 b.blen;
+    Array.blit b.bseq 0 bseq 0 b.blen;
+    Array.blit b.bdata 0 bdata 0 b.blen;
+    b.bprio <- bprio;
+    b.btie <- btie;
+    b.bseq <- bseq;
+    b.bdata <- bdata
+  end;
+  b.bprio.(b.blen) <- prio;
+  b.btie.(b.blen) <- tie;
+  b.bseq.(b.blen) <- seq;
+  b.bdata.(b.blen) <- x;
+  b.blen <- b.blen + 1
+
+let push t ~prio ~tie x =
+  match t with
+  | Bin h -> Heap.push ~tie h prio x
+  | Buck q ->
+      if not (prio >= 0. && prio < infinity) then
+        invalid_arg "Pq.push: bucket queue requires a finite non-negative priority";
+      let a = int_of_float (prio /. q.delta) in
+      if q.count = 0 then begin
+        q.lo <- a;
+        q.hi <- a + 1
+      end
+      else begin
+        let lo = if a < q.lo then a else q.lo in
+        let hi = if a + 1 > q.hi then a + 1 else q.hi in
+        if hi - lo > Array.length q.ring then grow_ring q lo hi;
+        q.lo <- lo;
+        q.hi <- hi
+      end;
+      bucket_append q.ring.(a mod Array.length q.ring) ~prio ~tie ~seq:q.next_seq x;
+      q.next_seq <- q.next_seq + 1;
+      q.count <- q.count + 1
+
+(* Strict (prio, tie, seq) order within a bucket, [<]-only like Heap. *)
+let entry_less b i j =
+  let pi = b.bprio.(i) and pj = b.bprio.(j) in
+  if pi < pj then true
+  else if pj < pi then false
+  else begin
+    let ti = b.btie.(i) and tj = b.btie.(j) in
+    if ti < tj then true else if tj < ti then false else b.bseq.(i) < b.bseq.(j)
+  end
+
+let pop_min t =
+  match t with
+  | Bin h -> Heap.pop_min h
+  | Buck q ->
+      if q.count = 0 then None
+      else begin
+        let len = Array.length q.ring in
+        while q.ring.(q.lo mod len).blen = 0 do
+          q.lo <- q.lo + 1
+        done;
+        let b = q.ring.(q.lo mod len) in
+        let best = ref 0 in
+        for i = 1 to b.blen - 1 do
+          if entry_less b i !best then best := i
+        done;
+        let p = b.bprio.(!best) and x = b.bdata.(!best) in
+        let last = b.blen - 1 in
+        b.bprio.(!best) <- b.bprio.(last);
+        b.btie.(!best) <- b.btie.(last);
+        b.bseq.(!best) <- b.bseq.(last);
+        b.bdata.(!best) <- b.bdata.(last);
+        b.blen <- last;
+        q.count <- q.count - 1;
+        Some (p, x)
+      end
+
+let is_empty = function Bin h -> Heap.is_empty h | Buck q -> q.count = 0
+
+let size = function Bin h -> Heap.size h | Buck q -> q.count
+
+(* Like {!Heap.clear}: drops the entries, keeps every allocated array. *)
+let clear = function
+  | Bin h -> Heap.clear h
+  | Buck q ->
+      Array.iter (fun b -> b.blen <- 0) q.ring;
+      q.lo <- 0;
+      q.hi <- 0;
+      q.count <- 0;
+      q.next_seq <- 0

@@ -1,0 +1,53 @@
+(** Pluggable min-priority queue behind Dijkstra's frontier.
+
+    Two implementations, one contract: entries pop in strict lexicographic
+    [(prio, tie, seq)] order, where [seq] is the per-queue push counter
+    (FIFO on full ties).  The order is total, so the pop sequence is a
+    pure function of the pushed multiset and swapping implementations can
+    never change a search result — only its speed.
+
+    - {!Binary} is the classic binary heap ({!Heap}).
+    - {!Bucket} is a calendar queue calibrated to Dijkstra's keys:
+      priorities quantized to [delta]-wide buckets in a circular ring that
+      tracks the in-flight priority span (grown and re-indexed when the
+      span outruns it), with an exact min-scan inside the first non-empty
+      bucket.  On monotone workloads (Dijkstra under a consistent
+      heuristic never pushes below the last pop) the span stays a few
+      buckets wide and every operation is O(bucket occupancy).
+      Correctness is independent of [delta] — the bucket index is monotone
+      in the priority and equal priorities share a bucket — but bucket
+      priorities must be finite and non-negative. *)
+
+type impl =
+  | Binary
+  | Bucket
+
+val impl_name : impl -> string
+(** ["binary"] / ["bucket"] — the CLI spelling. *)
+
+val impl_of_string : string -> impl option
+
+type t
+
+val create : ?capacity:int -> ?delta:float -> impl -> t
+(** [capacity] sizes the initial arrays (heap slots / ring buckets).
+    [delta] (default [0.5], the RRG cost quantum) is the bucket width;
+    ignored by {!Binary}.
+    @raise Invalid_argument if [delta <= 0]. *)
+
+val impl : t -> impl
+
+val push : t -> prio:float -> tie:float -> int -> unit
+(** @raise Invalid_argument on a negative or non-finite [prio] pushed to a
+    {!Bucket} queue. *)
+
+val pop_min : t -> (float * int) option
+(** Removes and returns the minimum entry by [(prio, tie, seq)]. *)
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val clear : t -> unit
+(** Empties the queue but retains all allocated capacity (both
+    implementations), so reuse across searches causes no realloc churn. *)

@@ -4,6 +4,7 @@
 module G = Fr_graph
 module C = Fr_core
 module F = Fr_fpga
+module Rng = Fr_util.Rng
 
 let small_arch ?(w = 4) () = F.Arch.xc4000 ~rows:4 ~cols:5 ~channel_width:w
 
@@ -579,6 +580,93 @@ let test_rrg_jog_penalty () =
   Alcotest.check_raises "negative penalty" (Invalid_argument "Rrg.build: negative jog penalty")
     (fun () -> ignore (F.Rrg.build ~jog_penalty:(-1.) arch))
 
+(* §4.8 soundness: the RRG's future-cost bound must be admissible
+   (h(v) never exceeds the true remaining distance to the nearest target,
+   at every node, for any target set) and consistent (h drops by at most
+   the edge weight across every enabled edge) — in the base-cost state,
+   with jog penalties, and after negotiated-congestion pricing has
+   multiplied the edge weights. *)
+let prop_rrg_future_cost_sound =
+  QCheck.Test.make ~name:"future_cost admissible + consistent" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let rows = 2 + Rng.int rng 3 and cols = 2 + Rng.int rng 3 in
+      let w = 2 + Rng.int rng 3 in
+      let jog = if Rng.bool rng then 0.5 *. float_of_int (1 + Rng.int rng 3) else 0. in
+      let mk = if Rng.bool rng then F.Arch.xc4000 else F.Arch.xc3000 in
+      let rrg = F.Rrg.build ~jog_penalty:jog (mk ~rows ~cols ~channel_width:w) in
+      let g = rrg.F.Rrg.graph in
+      let n = G.Gstate.num_nodes g in
+      let targets =
+        List.sort_uniq compare (List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng n))
+      in
+      let check state =
+        let h = G.Dijkstra.heuristic_eval (F.Rrg.future_cost rrg ~targets) in
+        let best = Array.make n infinity in
+        List.iter
+          (fun t ->
+            let r = G.Dijkstra.run g ~src:t in
+            for v = 0 to n - 1 do
+              if G.Dijkstra.dist r v < best.(v) then best.(v) <- G.Dijkstra.dist r v
+            done)
+          targets;
+        for v = 0 to n - 1 do
+          if h v > best.(v) +. 1e-9 then
+            QCheck.Test.fail_reportf "%s: h %.3f > dist %.3f at node %d" state (h v) best.(v) v
+        done;
+        (* iter_edges yields only enabled edges with enabled endpoints *)
+        G.Gstate.iter_edges g (fun e u v wt ->
+            if h u > wt +. h v +. 1e-9 || h v > wt +. h u +. 1e-9 then
+              QCheck.Test.fail_reportf "%s: inconsistent across edge %d (%d-%d)" state e u v)
+      in
+      check "base";
+      (* Price the graph the way negotiated mode would: a few overlapping
+         fake nets, one sub-gradient escalation, prices applied. *)
+      let cm = G.Cost_model.create g in
+      for _ = 1 to 3 do
+        G.Cost_model.use_nodes cm (List.init 8 (fun _ -> Rng.int rng n))
+      done;
+      G.Cost_model.escalate cm;
+      G.Cost_model.apply cm;
+      check "priced";
+      true)
+
+(* Goal-direction and the frontier implementation must not change routed
+   trees — only the settled-node work.  The full-size A/B (term1/apex7 at
+   published widths, both modes, with a hard >= 2x settling bound on the
+   point-to-point cells) runs in the bench smoke; this pins the invariant
+   at unit-test scale. *)
+let test_router_astar_identity () =
+  let circuit = tiny_circuit () in
+  let run astar heap =
+    let rrg = F.Rrg.build (small_arch ()) in
+    let config = F.Router.config_with ~astar ~heap () in
+    match F.Router.route ~config rrg circuit with
+    | Error _ -> Alcotest.fail "tiny circuit should route"
+    | Ok stats -> stats
+  in
+  let on = run true G.Pq.Bucket in
+  let on_bin = run true G.Pq.Binary in
+  let off = run false G.Pq.Binary in
+  let trees stats =
+    List.map
+      (fun r -> (r.F.Router.net.F.Netlist.net_name, List.sort compare r.F.Router.tree.G.Tree.edges))
+      stats.F.Router.routed
+  in
+  Alcotest.(check bool) "A* on = off" true (trees on = trees off);
+  Alcotest.(check bool) "bucket = binary" true (trees on = trees on_bin);
+  Alcotest.(check (float 1e-9))
+    "same wirelength" off.F.Router.total_wirelength on.F.Router.total_wirelength;
+  Alcotest.(check (float 1e-9))
+    "same max path" off.F.Router.total_max_path on.F.Router.total_max_path;
+  Alcotest.(check bool) "A* evaluated heuristics" true (on.F.Router.future_cost_evals > 0);
+  Alcotest.(check int) "off evaluates none" 0 off.F.Router.future_cost_evals;
+  Alcotest.(check bool) "A* settles no more" true
+    (on.F.Router.settled_nodes <= off.F.Router.settled_nodes);
+  Alcotest.(check string) "heap impl reported" "bucket" on.F.Router.heap_impl;
+  Alcotest.(check string) "binary reported" "binary" off.F.Router.heap_impl
+
 let test_router_benchmark_integration () =
   (* Full integration: route the whole synthetic term1 at a generous width. *)
   let spec = Option.get (F.Circuits.find_spec "term1") in
@@ -671,6 +759,8 @@ let () =
           Alcotest.test_case "congestion pressure" `Quick test_router_congestion_pressure;
           Alcotest.test_case "mixed criticality" `Quick test_router_mixed_criticality;
           Alcotest.test_case "jog penalty" `Quick test_rrg_jog_penalty;
+          QCheck_alcotest.to_alcotest prop_rrg_future_cost_sound;
+          Alcotest.test_case "A*/heap identity" `Quick test_router_astar_identity;
           Alcotest.test_case "term1 integration" `Slow test_router_benchmark_integration;
         ] );
       ( "render",

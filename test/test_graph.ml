@@ -122,6 +122,139 @@ let test_heap_growth () =
   done;
   Alcotest.(check bool) "drained" true (G.Heap.is_empty h)
 
+let test_heap_clear_retains_capacity () =
+  let h = G.Heap.create ~capacity:2 () in
+  for i = 0 to 99 do
+    G.Heap.push h (float_of_int i) i
+  done;
+  let cap = G.Heap.capacity h in
+  Alcotest.(check bool) "grew" true (cap >= 100);
+  G.Heap.clear h;
+  Alcotest.(check int) "capacity retained" cap (G.Heap.capacity h);
+  Alcotest.(check bool) "emptied" true (G.Heap.is_empty h);
+  (* Refilling to the same size must not reallocate. *)
+  for i = 0 to 99 do
+    G.Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "no realloc on refill" cap (G.Heap.capacity h);
+  Alcotest.(check bool) "still ordered" true (G.Heap.pop_min h = Some (0., 0))
+
+(* ------------------------------------------------------------------ *)
+(* Pq (pluggable frontier: binary heap vs bucket queue)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pq_order () =
+  (* Both implementations: strict (prio, tie, seq) pop order. *)
+  List.iter
+    (fun impl ->
+      let q = G.Pq.create ~delta:0.5 impl in
+      G.Pq.push q ~prio:2. ~tie:1. 10;
+      G.Pq.push q ~prio:2. ~tie:0.5 11;
+      G.Pq.push q ~prio:0.25 ~tie:0. 12;
+      G.Pq.push q ~prio:2. ~tie:0.5 13;
+      (* 12 first (smallest prio); then prio-2 entries by tie, then seq. *)
+      let rec drain acc =
+        match G.Pq.pop_min q with None -> List.rev acc | Some (_, x) -> drain (x :: acc)
+      in
+      Alcotest.(check (list int))
+        (G.Pq.impl_name impl ^ " order")
+        [ 12; 11; 13; 10 ] (drain []))
+    [ G.Pq.Binary; G.Pq.Bucket ]
+
+let test_pq_bucket_rejects () =
+  let q = G.Pq.create G.Pq.Bucket in
+  let bad = Invalid_argument "Pq.push: bucket queue requires a finite non-negative priority" in
+  Alcotest.check_raises "negative" bad (fun () -> G.Pq.push q ~prio:(-1.) ~tie:0. 0);
+  Alcotest.check_raises "infinite" bad (fun () -> G.Pq.push q ~prio:infinity ~tie:0. 0);
+  Alcotest.check_raises "nan" bad (fun () -> G.Pq.push q ~prio:nan ~tie:0. 0);
+  Alcotest.check_raises "bad delta" (Invalid_argument "Pq.create: delta must be positive")
+    (fun () -> ignore (G.Pq.create ~delta:0. G.Pq.Bucket))
+
+let test_pq_bucket_window_growth () =
+  (* Scrambled priorities spanning far more buckets than the initial ring:
+     forces the re-indexing growth path; order must survive. *)
+  let q = G.Pq.create ~capacity:4 ~delta:0.5 G.Pq.Bucket in
+  for i = 0 to 63 do
+    G.Pq.push q ~prio:(float_of_int (97 * i mod 64)) ~tie:0. i
+  done;
+  let last = ref (-1.) in
+  let ok = ref true in
+  let count = ref 0 in
+  let rec drain () =
+    match G.Pq.pop_min q with
+    | None -> ()
+    | Some (p, _) ->
+        if p < !last then ok := false;
+        last := p;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "nondecreasing through growth" true !ok;
+  Alcotest.(check int) "all popped" 64 !count
+
+let test_pq_clear_reuse () =
+  List.iter
+    (fun impl ->
+      let q = G.Pq.create ~capacity:2 ~delta:0.5 impl in
+      for i = 0 to 99 do
+        G.Pq.push q ~prio:(float_of_int i) ~tie:0. i
+      done;
+      G.Pq.clear q;
+      Alcotest.(check bool) (G.Pq.impl_name impl ^ " empty") true (G.Pq.is_empty q);
+      Alcotest.(check int) (G.Pq.impl_name impl ^ " size 0") 0 (G.Pq.size q);
+      (* Reuse in a disjoint priority range: a retained ring must re-home
+         its live window, a retained heap just refills. *)
+      G.Pq.push q ~prio:1000.5 ~tie:0. 7;
+      G.Pq.push q ~prio:999. ~tie:0. 8;
+      Alcotest.(check bool)
+        (G.Pq.impl_name impl ^ " min after reuse")
+        true
+        (G.Pq.pop_min q = Some (999., 8));
+      Alcotest.(check bool) (G.Pq.impl_name impl ^ " next") true (G.Pq.pop_min q = Some (1000.5, 7)))
+    [ G.Pq.Binary; G.Pq.Bucket ]
+
+(* The two implementations must be observationally identical: same pushes,
+   same pops, entry for entry — including duplicate payloads and full
+   (prio, tie) collisions resolved by push order.  Workloads are monotone
+   (never push below the last popped priority), like Dijkstra under a
+   consistent heuristic; half the priorities are quantized to the bucket
+   width so exact ties actually occur. *)
+let prop_pq_equivalence =
+  QCheck.Test.make ~name:"bucket/binary identical pop sequences" ~count:150
+    QCheck.(pair (int_range 0 1000) (int_range 0 3))
+    (fun (seed, di) ->
+      let rng = Rng.make seed in
+      let delta = [| 0.1; 0.25; 0.5; 2.0 |].(di) in
+      let bu = G.Pq.create ~capacity:2 ~delta G.Pq.Bucket in
+      let bi = G.Pq.create ~capacity:2 G.Pq.Binary in
+      let floor = ref 0. in
+      for i = 0 to 299 do
+        if Rng.int rng 3 < 2 || G.Pq.is_empty bi then begin
+          let p = !floor +. Rng.float rng 10. in
+          let prio =
+            if Rng.bool rng then float_of_int (int_of_float (p /. delta)) *. delta else p
+          in
+          let tie = float_of_int (Rng.int rng 3) in
+          G.Pq.push bu ~prio ~tie (i mod 5);
+          G.Pq.push bi ~prio ~tie (i mod 5)
+        end
+        else begin
+          let a = G.Pq.pop_min bu and b = G.Pq.pop_min bi in
+          if a <> b then QCheck.Test.fail_reportf "pop mismatch at step %d" i;
+          match a with Some (p, _) -> floor := p | None -> ()
+        end
+      done;
+      if G.Pq.size bu <> G.Pq.size bi then QCheck.Test.fail_report "size mismatch";
+      let rec drain () =
+        match (G.Pq.pop_min bu, G.Pq.pop_min bi) with
+        | None, None -> ()
+        | a, b when a = b -> drain ()
+        | _ -> QCheck.Test.fail_report "drain mismatch"
+      in
+      drain ();
+      true)
+
 (* ------------------------------------------------------------------ *)
 (* Dsu                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -282,6 +415,43 @@ let prop_dijkstra_path_cost_consistent =
         if Float.abs (total -. G.Dijkstra.dist r v) > 1e-6 then ok := false
       done;
       !ok)
+
+(* Goal-direction with an admissible + consistent heuristic must change
+   only the amount of work, never the answer.  The landmark heuristic
+   [h(v) = scale * dist(v, t)] with scale in [0, 1] is exact-to-scaled and
+   therefore both admissible and consistent; canonical parent selection
+   makes even the shortest-path tree bit-identical to the plain run. *)
+let prop_astar_matches_plain =
+  QCheck.Test.make ~name:"goal-directed = plain (dist, parents, settled work)" ~count:60
+    QCheck.(pair (int_range 3 30) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = G.Random_graph.connected rng ~n ~m:(3 * n) ~wmin:0.2 ~wmax:5. in
+      let t = n - 1 in
+      let back = G.Dijkstra.run g ~src:t in
+      let scale = [| 1.0; 0.6; 0.0 |].(seed mod 3) in
+      let h = G.Dijkstra.heuristic (fun v -> scale *. G.Dijkstra.dist back v) in
+      let plain = G.Dijkstra.run ~targets:[ t ] g ~src:0 in
+      let astar =
+        G.Dijkstra.run ~targets:[ t ] ~future_cost:h ~heap:G.Pq.Bucket ~delta:0.25 g ~src:0
+      in
+      if G.Dijkstra.settled_count astar > G.Dijkstra.settled_count plain then
+        QCheck.Test.fail_report "goal-direction settled more nodes than plain";
+      if not (G.Dijkstra.future_cost_evals astar > 0) then
+        QCheck.Test.fail_report "no heuristic evaluations recorded";
+      if G.Dijkstra.future_cost_evals plain <> 0 then
+        QCheck.Test.fail_report "plain run evaluated a heuristic";
+      (* Resuming a goal-directed frontier to completion must land on the
+         exact state a plain full run produces. *)
+      G.Dijkstra.extend_all plain;
+      G.Dijkstra.extend_all astar;
+      for v = 0 to n - 1 do
+        if G.Dijkstra.dist plain v <> G.Dijkstra.dist astar v then
+          QCheck.Test.fail_reportf "dist mismatch at %d" v;
+        if plain.G.Dijkstra.parent_edge.(v) <> astar.G.Dijkstra.parent_edge.(v) then
+          QCheck.Test.fail_reportf "parent mismatch at %d" v
+      done;
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* Mst                                                                *)
@@ -599,6 +769,38 @@ let test_dist_cache_targeted_counters () =
   Alcotest.(check bool) "dropped" false (G.Dist_cache.cached ct 0);
   Alcotest.(check int) "counters survive" 4 (G.Dist_cache.settled_nodes ct)
 
+(* Entries are keyed by (source, heuristic identity): a frontier opened
+   under one heuristic is never resumed under another, and complete
+   lookups are always plain. *)
+let test_dist_cache_heuristic_keying () =
+  let g, _, _, _, _, _ = diamond () in
+  let c = G.Dist_cache.create g in
+  let h1 = G.Dijkstra.heuristic (fun _ -> 0.) in
+  G.Dist_cache.set_future_cost c (Some h1);
+  ignore (G.Dist_cache.result_for c ~src:0 ~targets:[ 3 ]);
+  Alcotest.(check bool) "h1 entry live" true (G.Dist_cache.cached c 0);
+  Alcotest.(check int) "one run" 1 (G.Dist_cache.runs c);
+  Alcotest.(check bool) "heuristic evaluated" true (G.Dist_cache.future_cost_evals c > 0);
+  (* Same source, no heuristic: a different key, so not cached. *)
+  G.Dist_cache.set_future_cost c None;
+  Alcotest.(check bool) "plain key absent" false (G.Dist_cache.cached c 0);
+  ignore (G.Dist_cache.result_for c ~src:0 ~targets:[ 3 ]);
+  Alcotest.(check int) "plain lookup reran" 2 (G.Dist_cache.runs c);
+  (* Re-installing h1 finds the original entry again and resumes it. *)
+  G.Dist_cache.set_future_cost c (Some h1);
+  Alcotest.(check bool) "h1 entry survives" true (G.Dist_cache.cached c 0);
+  ignore (G.Dist_cache.result_for c ~src:0 ~targets:[ 1 ]);
+  Alcotest.(check int) "no rerun under h1" 2 (G.Dist_cache.runs c);
+  (* A distinct heuristic object is a distinct key, even for the same
+     source and the same underlying function. *)
+  let h2 = G.Dijkstra.heuristic (fun _ -> 0.) in
+  G.Dist_cache.set_future_cost c (Some h2);
+  Alcotest.(check bool) "h2 key absent" false (G.Dist_cache.cached c 0);
+  (* Complete lookups bypass goal-direction entirely. *)
+  let r = G.Dist_cache.result c ~src:2 in
+  Alcotest.(check bool) "complete" true (G.Dijkstra.complete r);
+  Alcotest.(check int) "complete lookup is plain" 0 (G.Dijkstra.future_cost_evals r)
+
 (* ------------------------------------------------------------------ *)
 (* Gstate journal                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -696,8 +898,17 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_order;
           Alcotest.test_case "empty/peek/clear" `Quick test_heap_empty;
           Alcotest.test_case "growth past capacity" `Quick test_heap_growth;
+          Alcotest.test_case "clear retains capacity" `Quick test_heap_clear_retains_capacity;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_interleaved;
+        ] );
+      ( "pq",
+        [
+          Alcotest.test_case "strict (prio, tie, seq) order" `Quick test_pq_order;
+          Alcotest.test_case "bucket rejects bad priorities" `Quick test_pq_bucket_rejects;
+          Alcotest.test_case "bucket ring growth" `Quick test_pq_bucket_window_growth;
+          Alcotest.test_case "clear retains capacity" `Quick test_pq_clear_reuse;
+          QCheck_alcotest.to_alcotest prop_pq_equivalence;
         ] );
       ( "gstate",
         [
@@ -728,6 +939,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_dijkstra_matches_floyd_warshall;
           QCheck_alcotest.to_alcotest prop_dijkstra_path_cost_consistent;
           QCheck_alcotest.to_alcotest prop_targeted_equals_full;
+          QCheck_alcotest.to_alcotest prop_astar_matches_plain;
         ] );
       ( "mst",
         [
@@ -767,6 +979,7 @@ let () =
           Alcotest.test_case "symmetric lookups" `Quick test_dist_cache_sym;
           Alcotest.test_case "LRU eviction" `Quick test_dist_cache_lru_eviction;
           Alcotest.test_case "targeted counters" `Quick test_dist_cache_targeted_counters;
+          Alcotest.test_case "heuristic keying" `Quick test_dist_cache_heuristic_keying;
           QCheck_alcotest.to_alcotest prop_cache_never_stale;
         ] );
     ]
