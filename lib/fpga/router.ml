@@ -460,6 +460,20 @@ let attempt caches cfg rrg net =
   in
   match go true with Some t -> Some t | None -> go false
 
+(* The two speculative-solve worker bodies, as named module-level functions
+   partial-applied at their Pool.map sites.  Everything a worker touches is
+   an explicit parameter: frdomcheck checks these as worker roots, and the
+   allowlist carries the ownership argument for the per-worker dcaches
+   (ctx.dcaches.(worker) is indexed by the worker's own id, so the writes
+   the analysis sees on [ctx] never cross domains). *)
+let solve_batch_job ctx cfg members ~worker i =
+  attempt ctx.dcaches.(worker) cfg ctx.wrrg (fst members.(i))
+  [@@frdomcheck.worker]
+
+let solve_negotiated_job ctx cfg nets par_idx ~worker k =
+  attempt ctx.dcaches.(worker) cfg ctx.wrrg nets.(par_idx.(k))
+  [@@frdomcheck.worker]
+
 let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w =
   let g = rrg.Rrg.graph in
   let routed = ref [] and failed = ref [] in
@@ -505,8 +519,7 @@ let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w 
         let solved =
           match par with
           | Some ctx when count >= 2 ->
-              Fr_util.Pool.map ctx.wpool ~count (fun ~worker i ->
-                  attempt ctx.dcaches.(worker) cfg ctx.wrrg (fst members.(i)))
+              Fr_util.Pool.map ctx.wpool ~count (solve_batch_job ctx cfg members)
           | _ -> Array.map (fun (net, _) -> attempt caches cfg rrg net) members
         in
         Array.iteri (fun i r -> land_result (fst members.(i)) r) solved
@@ -539,8 +552,7 @@ let negotiated_iteration ~par ~par_waves caches cfg rrg nets =
   | Some ctx when count >= 2 ->
       incr par_waves;
       let solved =
-        Fr_util.Pool.map ctx.wpool ~count (fun ~worker k ->
-            attempt ctx.dcaches.(worker) cfg ctx.wrrg nets.(par_idx.(k)))
+        Fr_util.Pool.map ctx.wpool ~count (solve_negotiated_job ctx cfg nets par_idx)
       in
       Array.iteri (fun k r -> results.(par_idx.(k)) <- r) solved
   | _ -> Array.iter (fun i -> results.(i) <- attempt caches cfg rrg nets.(i)) par_idx);

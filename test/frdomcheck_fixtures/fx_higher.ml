@@ -1,0 +1,5 @@
+(* A higher-order worker: it invokes a function it received as an
+   argument, whose effects nothing in the unit can bound, so the
+   analysis must flag it conservatively rather than assume safety. *)
+
+let invoke f x = f x [@@frdomcheck.worker]

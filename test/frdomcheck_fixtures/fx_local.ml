@@ -1,0 +1,10 @@
+(* Local mutation is benign: the ref never escapes the call, so this
+   attribute-marked worker must produce no findings. *)
+
+let sum_to n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  !acc
+[@@frdomcheck.worker]

@@ -1,0 +1,5 @@
+(* A worker whose whole reachable region is pure arithmetic: frdomcheck
+   must report nothing for this unit. *)
+
+let square i = i * i
+let drive pool = Fr_util.Pool.map pool ~count:8 (fun ~worker:_ i -> square i)

@@ -1,0 +1,12 @@
+(* Fixture for no-physical-equality: == and != on structured values in a
+   hot library.  The suppressed site shows the inline escape hatch for
+   intentional identity tests on mutable values. *)
+
+let same_list a b = a == b
+
+let different_strings a b = a != b
+
+type cell = { mutable v : int }
+
+(* frlint: allow no-physical-equality — identity of a mutable cell is the point *)
+let same_cell (a : cell) (b : cell) = a == b

@@ -1,0 +1,7 @@
+val same_list : 'a list -> 'a list -> bool
+
+val different_strings : string -> string -> bool
+
+type cell = { mutable v : int }
+
+val same_cell : cell -> cell -> bool

@@ -2,6 +2,7 @@
    suppression mechanisms work, and the real tree is lint-clean. *)
 
 module L = Frlint_lib
+module LL = Lintlib
 
 let fixtures_root = "frlint_fixtures"
 let fixtures_allowlist = Filename.concat fixtures_root "allowlist"
@@ -9,7 +10,7 @@ let fixtures_allowlist = Filename.concat fixtures_root "allowlist"
 let run_fixtures () =
   L.Engine.run ~allowlist_path:fixtures_allowlist ~roots:[ fixtures_root ] ()
 
-let finding_pair (f : L.Finding.t) = (Filename.basename f.L.Finding.file, f.L.Finding.rule)
+let finding_pair (f : LL.Finding.t) = (Filename.basename f.LL.Finding.file, f.LL.Finding.rule)
 
 let pairs = Alcotest.(list (pair string string))
 
@@ -30,6 +31,8 @@ let expected_fixture_findings =
     ("magic.ml", "no-print-in-lib");
     ("magic.ml", "no-silent-catch-all");
     ("missing_mli.ml", "mli-required");
+    ("phys_eq.ml", "no-physical-equality");
+    ("phys_eq.ml", "no-physical-equality");
     ("poly_compare.ml", "no-polymorphic-compare");
     ("poly_compare.ml", "no-polymorphic-compare");
     ("poly_compare.ml", "no-polymorphic-compare");
@@ -43,11 +46,12 @@ let test_fixture_findings () =
 
 let test_every_rule_fires () =
   let s = run_fixtures () in
-  let fired = List.map (fun (f : L.Finding.t) -> f.L.Finding.rule) s.L.Engine.findings in
+  let fired = List.map (fun (f : LL.Finding.t) -> f.LL.Finding.rule) s.L.Engine.findings in
   List.iter
     (fun rule -> Alcotest.(check bool) (rule ^ " fires") true (List.mem rule fired))
     [
       "no-linear-scan";
+      "no-physical-equality";
       "no-polymorphic-compare";
       "error-names-entry-point";
       "no-obj-magic";
@@ -60,18 +64,25 @@ let test_every_rule_fires () =
 let test_suppressions () =
   let s = run_fixtures () in
   (* suppressed.ml's List.mem is silenced by its inline comment *)
-  Alcotest.(check int) "one inline suppression" 1 s.L.Engine.inline_suppressed;
+  Alcotest.(check int) "two inline suppressions" 2 s.L.Engine.inline_suppressed;
+  Alcotest.(check bool)
+    "phys_eq.ml's identity test is silenced inline" true
+    (List.for_all
+       (fun (f : LL.Finding.t) -> not (String.equal f.LL.Finding.rule "no-physical-equality")
+         || Filename.basename f.LL.Finding.file <> "phys_eq.ml"
+         || f.LL.Finding.line < 12)
+    s.L.Engine.findings);
   Alcotest.(check bool)
     "suppressed.ml reports nothing" true
     (List.for_all
-       (fun (f : L.Finding.t) -> Filename.basename f.L.Finding.file <> "suppressed.ml")
+       (fun (f : LL.Finding.t) -> Filename.basename f.LL.Finding.file <> "suppressed.ml")
        s.L.Engine.findings);
   (* printy.ml's print_endline is silenced by the fixture allowlist *)
   Alcotest.(check int) "one allowlisted finding" 1 s.L.Engine.allowlisted;
   Alcotest.(check bool)
     "printy.ml reports nothing" true
     (List.for_all
-       (fun (f : L.Finding.t) -> Filename.basename f.L.Finding.file <> "printy.ml")
+       (fun (f : LL.Finding.t) -> Filename.basename f.LL.Finding.file <> "printy.ml")
        s.L.Engine.findings)
 
 (* ------------------------------------------------------------------ *)
@@ -98,7 +109,7 @@ let test_allowlist_unused_and_syntax () =
           ()
       in
       let rules =
-        List.map (fun (f : L.Finding.t) -> f.L.Finding.rule) s.L.Engine.findings
+        List.map (fun (f : LL.Finding.t) -> f.LL.Finding.rule) s.L.Engine.findings
         |> List.sort compare
       in
       Alcotest.(check (list string))
@@ -112,10 +123,10 @@ let test_allowlist_unused_and_syntax () =
 
 let test_scope () =
   let check path ~in_lib ~hot ~print_exempt =
-    let s = L.Scope.classify path in
-    Alcotest.(check bool) (path ^ " in_lib") in_lib s.L.Scope.in_lib;
-    Alcotest.(check bool) (path ^ " hot") hot s.L.Scope.hot;
-    Alcotest.(check bool) (path ^ " print_exempt") print_exempt s.L.Scope.print_exempt
+    let s = LL.Scope.classify path in
+    Alcotest.(check bool) (path ^ " in_lib") in_lib s.LL.Scope.in_lib;
+    Alcotest.(check bool) (path ^ " hot") hot s.LL.Scope.hot;
+    Alcotest.(check bool) (path ^ " print_exempt") print_exempt s.LL.Scope.print_exempt
   in
   check "lib/graph/tree.ml" ~in_lib:true ~hot:true ~print_exempt:false;
   check "../../lib/core/pfa.ml" ~in_lib:true ~hot:true ~print_exempt:false;
@@ -132,10 +143,10 @@ let test_scope () =
 let test_real_tree_clean () =
   let s =
     L.Engine.run ~allowlist_path:"../tools/frlint/allowlist"
-      ~roots:[ "../lib"; "../bin"; "../bench" ] ()
+      ~roots:[ "../lib"; "../bin"; "../bench"; "../tools" ] ()
   in
   Alcotest.check pairs
-    "no findings on lib/, bin/, bench/" []
+    "no findings on lib/, bin/, bench/, tools/" []
     (List.map finding_pair s.L.Engine.findings);
   Alcotest.(check bool) "scanned a real number of files" true (s.L.Engine.files > 80)
 

@@ -1,0 +1,65 @@
+(* Qualified-name normalization.
+
+   The analysis keys everything — summaries, call edges, externals tables,
+   allowlist entries — by a flat dotted name ("Fr_graph.Gstate.set_weight",
+   "Hashtbl.replace").  Typedtree paths arrive in several spellings of the
+   same thing: dune's wrapped-library mangling ("Fr_graph__Gstate"), local
+   module aliases ("G.Gstate.set_weight" after [module G = Fr_graph]),
+   explicit "Stdlib." prefixes, and dune's executable-module prefix
+   ("Dune__exe__Fpga_route").  [normalize] folds them all to one canonical
+   form so cross-unit references meet the definitions they name. *)
+
+(* Split a dune-mangled component on "__": "Fr_graph__Gstate" becomes
+   ["Fr_graph"; "Gstate"].  Single underscores are untouched. *)
+let split_mangled s =
+  let n = String.length s in
+  let out = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if s.[!i] = '_' && s.[!i + 1] = '_' && !i > !start then begin
+      out := String.sub s !start (!i - !start) :: !out;
+      i := !i + 2;
+      start := !i
+    end
+    else incr i
+  done;
+  List.rev (String.sub s !start (n - !start) :: !out)
+
+(* Per-unit alias table: local alias ident name -> normalized replacement
+   components.  Filled from [module G = Fr_graph] bindings; everything
+   else in a Typedtree path is already fully resolved through opens. *)
+type aliases = (string, string list) Hashtbl.t
+
+let no_aliases : aliases = Hashtbl.create 1
+
+let rec expand_head aliases parts fuel =
+  match parts with
+  | head :: rest when fuel > 0 -> (
+      match Hashtbl.find_opt aliases head with
+      | Some repl -> expand_head aliases (repl @ rest) (fuel - 1)
+      | None -> parts)
+  | _ -> parts
+
+let normalize ~aliases name =
+  let parts = String.split_on_char '.' name in
+  let parts = expand_head aliases parts 10 in
+  let parts = List.concat_map split_mangled parts in
+  let parts =
+    match parts with
+    | "Stdlib" :: (_ :: _ as rest) -> rest
+    | "Dune" :: "exe" :: (_ :: _ as rest) -> rest
+    | l -> l
+  in
+  String.concat "." parts
+
+let of_path ~aliases p = normalize ~aliases (Path.name p)
+
+(* The unit prefix under which a cmt's module-level bindings are
+   registered: "Fr_graph__Gstate" -> "Fr_graph.Gstate". *)
+let unit_prefix modname = normalize ~aliases:no_aliases modname
+
+let is_within ~prefix name =
+  String.equal name prefix
+  || String.length name > String.length prefix
+     && String.sub name 0 (String.length prefix + 1) = prefix ^ "."

@@ -1,0 +1,164 @@
+(* Effect-analysis domains.
+
+   A [root] answers "what can this value reach?" in the ownership sense:
+   [fresh] means only storage allocated by the function under analysis
+   (mutating it is benign), [rp] lists the parameters it may alias, [rg]
+   the module-level values, and [run] is the conservative top — captured
+   at a spawn boundary, produced by an unmodeled external, or otherwise
+   untracked.
+
+   A [t] (summary) is one function's interface-level effect contract:
+   which parameters it may mutate or invoke, what it returns in root
+   terms, its unconditional offenses (writes to globals or unknown roots,
+   calls of unknown closures), and its outgoing call-graph edges.  The
+   analysis in [Analyze] recomputes summaries from the typed AST until
+   they stop changing; [Check] then judges worker entry points against
+   them. *)
+
+module SS = Set.Make (String)
+
+type root = {
+  rp : SS.t;  (* parameters of the enclosing function this value may alias *)
+  rg : SS.t;  (* module-level values it may alias *)
+  run : string option;  (* unknown provenance: the conservative top *)
+}
+
+let fresh = { rp = SS.empty; rg = SS.empty; run = None }
+
+let of_param p = { fresh with rp = SS.singleton p }
+
+(* Parameter roots carry their owning function's name ("Fn.name#$0") so a
+   nested let-bound function mutating a value captured from its encloser
+   charges the *encloser's* contract, not its own same-numbered slot. *)
+let qualify ~owner key = owner ^ "#" ^ key
+
+let split_qualified q =
+  match String.index_opt q '#' with
+  | Some i -> (String.sub q 0 i, String.sub q (i + 1) (String.length q - i - 1))
+  | None -> ("", q)
+
+let of_global g = { fresh with rg = SS.singleton g }
+
+let unknown why = { fresh with run = Some why }
+
+let is_fresh r = SS.is_empty r.rp && SS.is_empty r.rg && r.run = None
+
+let join a b =
+  {
+    rp = SS.union a.rp b.rp;
+    rg = SS.union a.rg b.rg;
+    run = (match a.run with Some _ -> a.run | None -> b.run);
+  }
+
+let joins rs = List.fold_left join fresh rs
+
+let root_desc r =
+  if is_fresh r then "fresh"
+  else
+    String.concat " "
+      ((List.map (fun p -> "param " ^ p) (SS.elements r.rp))
+      @ List.map (fun g -> "global " ^ g) (SS.elements r.rg)
+      @ match r.run with Some why -> [ "unknown (" ^ why ^ ")" ] | None -> [])
+
+(* Offense rules: the two finding kinds frdomcheck can emit against a
+   worker-reachable function (plus allowlist hygiene from Lintlib). *)
+let rule_mutation = "worker-shared-mutation"
+
+let rule_unknown_call = "worker-unknown-call"
+
+type offense = {
+  rule : string;
+  oloc : Location.t;
+  odesc : string;
+}
+
+(* Provenance of a parameter-level effect: where it bottoms out, for
+   messages ("mutates param t: Hashtbl.replace at lib/...:97"). *)
+type prov = {
+  ploc : Location.t;
+  pdesc : string;
+}
+
+type t = {
+  sname : string;
+  sloc : Location.t;
+  sfile : string;
+  mutable params : string list;  (* interface keys in order: "$0", "~net", "?memo" *)
+  is_fn : bool;
+  mutable offenses : offense list;
+  mutable mutp : (string * prov) list;  (* parameters possibly mutated *)
+  mutable callp : (string * prov) list;  (* parameters possibly invoked *)
+  mutable edges : (string * Location.t) list;  (* call-graph out-edges *)
+  mutable reads : bool;  (* reads mutable state (refs, arrays, mutable fields) *)
+  mutable ret : root;  (* return value's root, in [params] namespace *)
+}
+
+let create ~name ~loc ~file ~params ~is_fn =
+  {
+    sname = name;
+    sloc = loc;
+    sfile = file;
+    params;
+    is_fn;
+    offenses = [];
+    mutp = [];
+    callp = [];
+    edges = [];
+    reads = false;
+    ret = fresh;
+  }
+
+(* Provenance strings nest one level per call hop; recursive cycles would
+   otherwise grow them (and the digest) forever, so clip at a fixed width.
+   Clipping is prefix-stable, which is what makes the fixpoint terminate in
+   the presence of recursion. *)
+let clip desc =
+  if String.length desc > 240 then String.sub desc 0 240 ^ "..." else desc
+
+let add_offense s ~rule ~loc ~desc =
+  let desc = clip desc in
+  if not (List.exists (fun o -> o.rule = rule && o.odesc = desc && o.oloc = loc) s.offenses)
+  then s.offenses <- { rule; oloc = loc; odesc = desc } :: s.offenses
+
+let add_mutp s p ~loc ~desc =
+  let desc = clip desc in
+  if not (List.mem_assoc p s.mutp) then s.mutp <- (p, { ploc = loc; pdesc = desc }) :: s.mutp
+
+let add_callp s p ~loc ~desc =
+  let desc = clip desc in
+  if not (List.mem_assoc p s.callp) then s.callp <- (p, { ploc = loc; pdesc = desc }) :: s.callp
+
+let add_edge s callee ~loc =
+  if not (List.exists (fun (c, _) -> String.equal c callee) s.edges) then
+    s.edges <- (callee, loc) :: s.edges
+
+(* Structural fingerprint for the fixpoint's convergence test: everything a
+   caller's re-analysis can observe about this summary. *)
+let digest s =
+  let offs =
+    List.sort compare (List.map (fun o -> (o.rule, o.odesc)) s.offenses)
+  in
+  let mutp = List.sort compare (List.map fst s.mutp) in
+  let callp = List.sort compare (List.map fst s.callp) in
+  let edges = List.sort compare (List.map fst s.edges) in
+  (offs, mutp, callp, edges, s.reads, (SS.elements s.ret.rp, SS.elements s.ret.rg, s.ret.run = None))
+
+(* The manifest's three-point lattice (DESIGN.md §7): [Mutates] covers any
+   write the function may perform on storage it does not own — including
+   its own arguments; whether a given *call* of it is benign is the
+   caller-context question the worker check answers separately. *)
+type classification =
+  | Pure
+  | Read_only
+  | Mutates of (string * Location.t) list  (* site descriptions *)
+
+let classify s =
+  let sites =
+    List.map (fun o -> (o.odesc, o.oloc)) s.offenses
+    @ List.map (fun (p, pr) -> (Printf.sprintf "mutates argument %s: %s" p pr.pdesc, pr.ploc)) s.mutp
+  in
+  if sites <> [] then Mutates (List.rev sites)
+  else if s.reads || s.callp <> [] then Read_only
+  else Pure
+
+let class_name = function Pure -> "pure" | Read_only -> "read_only" | Mutates _ -> "mutates"

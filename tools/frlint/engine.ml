@@ -1,5 +1,7 @@
 (* File discovery, parsing, and rule/suppression orchestration. *)
 
+open Lintlib
+
 type summary = {
   findings : Finding.t list;  (* unsuppressed, sorted *)
   files : int;

@@ -7,6 +7,7 @@
    usage errors. *)
 
 open Frlint_lib
+open Lintlib
 
 let usage () =
   prerr_endline "usage: frlint [--json] [--allowlist FILE] PATH...";

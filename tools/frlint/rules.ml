@@ -7,6 +7,7 @@
    in DESIGN.md §"Static analysis" and each false positive can be silenced
    per-site with an inline [frlint: allow <rule-id> — reason] comment. *)
 
+open Lintlib
 open Parsetree
 
 type ctx = {
@@ -53,6 +54,19 @@ let check_ident ctx loc (lid : Longident.t) =
       if ctx.scope.Scope.in_lib && not ctx.scope.Scope.print_exempt then
         add ctx loc "no-print-in-lib"
           "printf writes to stdout from library code; return data and print in bin/ or bench/"
+  | Lident (("==" | "!=") as op) | Ldot (Lident "Stdlib", (("==" | "!=") as op)) ->
+      (* Physical equality on immutable data is representation-dependent:
+         unboxing, sharing and copying all change the answer without
+         changing the value.  Where identity of a mutable structure is the
+         actual intent, say so with a suppression. *)
+      if ctx.scope.Scope.hot then
+        add ctx loc "no-physical-equality"
+          (Printf.sprintf
+             "physical equality (%s) in a hot library is representation-dependent; use \
+              structural (%s) or a typed equality, or suppress where identity of a mutable \
+              value is the intent"
+             op
+             (if op = "==" then "=" else "<>"))
   | Ldot (Lident "Random", fn) | Ldot (Ldot (Lident "Stdlib", "Random"), fn) ->
       (* Random.State.* arrives as Ldot (Ldot (Lident "Random", "State"), _)
          and so never matches here — explicit-state randomness is exactly

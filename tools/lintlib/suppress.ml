@@ -119,6 +119,20 @@ let suppresses t (f : Finding.t) =
     t.entries;
   !hit
 
+(* Key-based matching, for checkers whose findings attach to a symbol rather
+   than a file (frdomcheck allowlists qualified function names): the entry's
+   path slot holds the key verbatim.  Marks matching entries as used. *)
+let suppresses_key t ~rule ~key =
+  let hit = ref false in
+  List.iter
+    (fun e ->
+      if e.rule = rule && e.path = key then begin
+        e.used <- true;
+        hit := true
+      end)
+    t.entries;
+  !hit
+
 let unused_findings t =
   List.filter_map
     (fun e ->
