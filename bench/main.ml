@@ -726,6 +726,339 @@ let journal_section ~max_passes () =
   Fr_util.Tab.print t;
   !all_cheaper
 
+(* ------------------------------------------------------------------ *)
+(* Incremental (ECO) re-routing + serve daemon -> BENCH_pr9.json       *)
+(* ------------------------------------------------------------------ *)
+
+let die msg =
+  prerr_endline msg;
+  exit 1
+
+let canonical_routed routed =
+  List.map
+    (fun r ->
+      (r.F.Router.net.F.Netlist.net_name, List.sort compare r.F.Router.tree.G.Tree.edges))
+    routed
+  |> List.sort compare
+
+(* What the ECO differential contract pins beyond the trees themselves.
+   The parallel-accounting counters (par_batches/par_conflicts) are
+   per-request in an ECO session — a kept prefix's batches never re-run —
+   so they are exactly what incrementality is allowed to change. *)
+let eco_quality (s : F.Router.stats) =
+  (s.F.Router.passes, s.F.Router.total_wirelength, s.F.Router.total_max_path,
+   s.F.Router.peak_occupancy)
+
+(* The scripted delta sequence: a removal, an addition, a terminal change
+   (retime), and a mixed request.  Edits target nets near the END of the
+   net order, where the waves schedule keeps an unchanged batch prefix —
+   the locality incremental re-routing exists to exploit; negotiated mode
+   reuses by terminal memo instead, so edit position is immaterial there. *)
+let eco_script (c : F.Netlist.circuit) =
+  let nets = Array.of_list c.F.Netlist.nets in
+  let n = Array.length nets in
+  if n < 4 then die "eco bench: circuit too small for the delta script";
+  let a = nets.(n - 1) and b = nets.(n - 2) and m = nets.(n - 3) in
+  let rotate (net : F.Netlist.net) =
+    match List.rev (F.Netlist.net_pins net) with
+    | last :: rest_rev ->
+        F.Router.Eco.Retime_net (net.F.Netlist.net_name, last, List.rev rest_rev)
+    | [] -> die "eco bench: net with no pins"
+  in
+  let fresh =
+    F.Netlist.make_net
+      ~name:(a.F.Netlist.net_name ^ "_eco")
+      ~source:a.F.Netlist.source ~sinks:a.F.Netlist.sinks
+  in
+  [
+    ("remove", [ F.Router.Eco.Remove_net a.F.Netlist.net_name ]);
+    ("add", [ F.Router.Eco.Add_net fresh ]);
+    ("retime", [ rotate b ]);
+    ( "mixed",
+      [
+        F.Router.Eco.Remove_net m.F.Netlist.net_name;
+        F.Router.Eco.Retime_net (b.F.Netlist.net_name, b.F.Netlist.source, b.F.Netlist.sinks);
+      ] );
+  ]
+
+let eco_section ~specs ~modes ~domain_counts ~max_passes () =
+  section "Incremental (ECO) re-routing (differential vs from-scratch)";
+  let t =
+    Fr_util.Tab.create
+      ~title:
+        (Printf.sprintf "ECO apply vs from-scratch route (W=14, domains %s)"
+           (String.concat "/" (List.map string_of_int domain_counts)))
+      ~header:
+        [ "circuit/mode/step"; "total"; "ripped"; "reused"; "eco settled"; "scratch settled";
+          "eco s"; "scratch s"; "trees" ]
+  in
+  let all_identical = ref true and all_partial = ref true in
+  let circuits_json = ref [] in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun mode ->
+          let mode_name =
+            match mode with F.Router.Waves -> "waves" | F.Router.Negotiated -> "negotiated"
+          in
+          let tag = spec.F.Circuits.circuit ^ "/" ^ mode_name in
+          let config = config_with ~alg:C.Routing_alg.ikmb ~max_passes ~mode () in
+          let mk_rrg () = F.Rrg.build (F.Circuits.arch_for spec ~channel_width:14) in
+          let circuit0 = F.Circuits.generate spec in
+          let sessions =
+            List.map
+              (fun d ->
+                match F.Router.Eco.create ~config ~domains:d (mk_rrg ()) circuit0 with
+                | Ok (e, es) -> (d, e, es)
+                | Error _ -> die (Printf.sprintf "eco bench: %s did not route at W=14" tag))
+              domain_counts
+          in
+          let scratch circuit =
+            let rrg = mk_rrg () in
+            let t0 = Unix.gettimeofday () in
+            match F.Router.route ~config ~domains:1 rrg circuit with
+            | Ok s -> (s, Unix.gettimeofday () -. t0)
+            | Error _ ->
+                die (Printf.sprintf "eco bench: scratch %s did not route at W=14" tag)
+          in
+          let steps_json = ref [] in
+          (* One step's cross-check: every session (all domain counts) must
+             hold a routing bit-identical to the from-scratch route of its
+             current netlist, with the same quality fingerprint. *)
+          let check step_name (es0 : F.Router.Eco.eco_stats) ~eco_s =
+            let _, e0, _ = List.hd sessions in
+            let sc, sc_s = scratch (F.Router.Eco.circuit e0) in
+            let want = canonical_routed sc.F.Router.routed in
+            let identical =
+              List.for_all
+                (fun (_, e, _) -> canonical_routed (F.Router.Eco.routed e) = want)
+                sessions
+              && eco_quality es0.F.Router.Eco.stats = eco_quality sc
+            in
+            if not identical then all_identical := false;
+            let total = es0.F.Router.Eco.nets_total
+            and ripped = es0.F.Router.Eco.nets_ripped
+            and reused = es0.F.Router.Eco.nets_reused in
+            Fr_util.Tab.add_row t
+              [ tag ^ "/" ^ step_name;
+                string_of_int total;
+                string_of_int ripped;
+                string_of_int reused;
+                string_of_int es0.F.Router.Eco.stats.F.Router.settled_nodes;
+                string_of_int sc.F.Router.settled_nodes;
+                Printf.sprintf "%.3f" eco_s;
+                Printf.sprintf "%.3f" sc_s;
+                (if identical then "identical" else "DIFFER") ];
+            steps_json :=
+              Printf.sprintf
+                "{\"step\": \"%s\", \"nets_total\": %d, \"nets_ripped\": %d, \
+                 \"nets_reused\": %d, \"eco_settled\": %d, \"scratch_settled\": %d, \
+                 \"eco_s\": %.3f, \"scratch_s\": %.3f, \"identical\": %b}"
+                (json_escape step_name) total ripped reused
+                es0.F.Router.Eco.stats.F.Router.settled_nodes sc.F.Router.settled_nodes eco_s
+                sc_s identical
+              :: !steps_json;
+            (ripped, total)
+          in
+          let _, _, es_create = List.hd sessions in
+          ignore (check "create" es_create ~eco_s:0.0);
+          (* Apply the script; at least one step per session must rip
+             strictly fewer nets than the netlist holds — the entire point
+             of the incremental path. *)
+          let some_partial = ref false in
+          List.iter
+            (fun (step_name, deltas) ->
+              let applied =
+                List.map
+                  (fun (d, e, _) ->
+                    let t0 = Unix.gettimeofday () in
+                    match F.Router.Eco.apply e deltas with
+                    | Ok es -> (d, es, Unix.gettimeofday () -. t0)
+                    | Error _ ->
+                        die
+                          (Printf.sprintf "eco bench: %s/%s did not route at W=14" tag
+                             step_name))
+                  sessions
+              in
+              let _, es0, eco_s = List.hd applied in
+              (* Rip-up accounting is part of the deterministic schedule,
+                 so it must agree across domain counts. *)
+              List.iter
+                (fun (d, es, _) ->
+                  if
+                    es.F.Router.Eco.nets_ripped <> es0.F.Router.Eco.nets_ripped
+                    || es.F.Router.Eco.nets_reused <> es0.F.Router.Eco.nets_reused
+                  then
+                    die
+                      (Printf.sprintf
+                         "eco bench: %s/%s rip-up accounting differs between domains %d and %d"
+                         tag step_name (let d0, _, _ = List.hd sessions in d0) d))
+                applied;
+              let ripped, total = check step_name es0 ~eco_s in
+              if ripped < total then some_partial := true)
+            (eco_script circuit0);
+          if not !some_partial then all_partial := false;
+          List.iter (fun (_, e, _) -> F.Router.Eco.close e) sessions;
+          circuits_json :=
+            Printf.sprintf "{\"circuit\": \"%s\", \"mode\": \"%s\", \"steps\": [%s]}"
+              (json_escape spec.F.Circuits.circuit) mode_name
+              (String.concat ", " (List.rev !steps_json))
+            :: !circuits_json)
+        modes)
+    specs;
+  Fr_util.Tab.print t;
+  (!all_identical, !all_partial, List.rev !circuits_json)
+
+(* ---------------- serve daemon (socket) ---------------- *)
+
+module Serve = Fr_serve
+
+(* A small fixed circuit so thousands of socket round-trips stay cheap;
+   each bench client owns one net and toggles its terminal order, so the
+   interleaving of concurrent clients never changes the final netlist. *)
+let serve_circuit_text =
+  String.concat "\n"
+    [
+      "circuit eco_serve 6 6";
+      "net a 0,0,E,0 2,3,W,0";
+      "net b 1,1,N,0 3,4,S,0 0,4,S,1";
+      "net c 3,0,N,0 1,2,S,0";
+      "net d 5,5,W,0 4,1,E,0";
+      "";
+    ]
+
+let serve_request client obj =
+  match Serve.Client.request client obj with
+  | Ok resp -> resp
+  | Error e -> die (Printf.sprintf "serve bench: protocol failure: %s" e)
+
+let serve_expect_ok client obj =
+  let resp = serve_request client obj in
+  match Serve.Json.member "ok" resp with
+  | Some (Serve.Json.Bool true) -> resp
+  | _ -> die (Printf.sprintf "serve bench: request failed: %s" (Serve.Json.to_string resp))
+
+let serve_retime_req name pins ~rotated =
+  let pin_strs = List.map F.Netlist.pin_to_string pins in
+  let source, sinks =
+    match (pin_strs, List.rev pin_strs) with
+    | p0 :: rest, last :: rest_rev ->
+        if rotated then (last, List.rev rest_rev) else (p0, rest)
+    | _ -> die "serve bench: net with no pins"
+  in
+  Serve.Json.Obj
+    [
+      ("cmd", Serve.Json.Str "eco");
+      ( "deltas",
+        Serve.Json.Arr
+          [
+            Serve.Json.Obj
+              [
+                ("op", Serve.Json.Str "retime");
+                ("name", Serve.Json.Str name);
+                ("source", Serve.Json.Str source);
+                ("sinks", Serve.Json.Arr (List.map (fun s -> Serve.Json.Str s) sinks));
+              ];
+          ] );
+    ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let serve_section ~queries ~clients () =
+  section "Serve daemon (concurrent ECO clients over a Unix socket)";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fr_serve_bench_%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve.Server.create ~socket in
+  let server_thread = Thread.create Serve.Server.serve_forever server in
+  let circuit =
+    match F.Netlist.of_string serve_circuit_text with
+    | Ok c -> c
+    | Error e -> die ("serve bench: bad fixture circuit: " ^ e)
+  in
+  let nets = Array.of_list circuit.F.Netlist.nets in
+  let main_client = Serve.Client.connect ~socket in
+  let route_req =
+    Serve.Json.Obj
+      [
+        ("cmd", Serve.Json.Str "route");
+        ("circuit", Serve.Json.Str serve_circuit_text);
+        ("width", Serve.Json.of_int 6);
+        ("mode", Serve.Json.Str "waves");
+      ]
+  in
+  let digest_of resp =
+    match Option.bind (Serve.Json.member "digest" resp) Serve.Json.str with
+    | Some d -> d
+    | None -> die "serve bench: response carries no digest"
+  in
+  let first = serve_expect_ok main_client route_req in
+  let digest0 = digest_of first in
+  (* Each client: its own connection, its own net, an even number of
+     toggles (so every client ends on the original terminal order). *)
+  let per_client = max 2 (queries / clients / 2 * 2) in
+  let latencies = Array.make (clients * per_client) 0. in
+  let t0 = Unix.gettimeofday () in
+  let worker k =
+    let c = Serve.Client.connect ~socket in
+    let net = nets.(k mod Array.length nets) in
+    let name = net.F.Netlist.net_name and pins = F.Netlist.net_pins net in
+    for j = 0 to per_client - 1 do
+      let req = serve_retime_req name pins ~rotated:(j mod 2 = 0) in
+      let q0 = Unix.gettimeofday () in
+      ignore (serve_expect_ok c req);
+      latencies.((k * per_client) + j) <- Unix.gettimeofday () -. q0
+    done;
+    Serve.Client.close c
+  in
+  let threads = List.init clients (fun k -> Thread.create worker k) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let total = clients * per_client in
+  (* Every client ended on its net's original orientation, so the session
+     must be back at the initial netlist: its digest must equal both the
+     initial route's and a fresh from-scratch session's — the ECO-vs-
+     scratch identity, checked end to end through the socket. *)
+  let stats_resp = serve_expect_ok main_client (Serve.Json.Obj [ ("cmd", Serve.Json.Str "stats") ]) in
+  let digest_after = digest_of stats_resp in
+  let rescratch = serve_expect_ok main_client route_req in
+  let digest_scratch = digest_of rescratch in
+  let identity = digest_after = digest0 && digest_after = digest_scratch in
+  ignore (serve_expect_ok main_client (Serve.Json.Obj [ ("cmd", Serve.Json.Str "shutdown") ]));
+  Serve.Client.close main_client;
+  Thread.join server_thread;
+  let socket_gone = not (Sys.file_exists socket) in
+  Array.sort compare latencies;
+  let ms p = percentile latencies p *. 1000. in
+  let throughput = float_of_int total /. wall_s in
+  Printf.printf
+    "%d ECO queries over %d concurrent clients in %.2fs: %.0f req/s, latency p50 %.2fms \
+     p90 %.2fms p99 %.2fms; eco-vs-scratch digests %s; socket %s\n%!"
+    total clients wall_s throughput (ms 0.50) (ms 0.90) (ms 0.99)
+    (if identity then "identical" else "DIFFER")
+    (if socket_gone then "removed" else "LEFT BEHIND");
+  let json =
+    Printf.sprintf
+      "{\"queries\": %d, \"clients\": %d, \"wall_s\": %.3f, \"throughput_rps\": %.1f, \
+       \"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, \
+       \"eco_vs_scratch_identical\": %b, \"clean_shutdown\": %b}"
+      total clients wall_s throughput (ms 0.50) (ms 0.90) (ms 0.99) identity socket_gone
+  in
+  (identity && socket_gone, json)
+
+let write_pr9_json ~eco_json ~serve_json =
+  let oc = open_out "BENCH_pr9.json" in
+  Printf.fprintf oc
+    "{\"bench\": \"pr9_eco_serve\", \"domains\": %d, \"quick\": %b, \"eco\": [%s], \
+     \"serve\": %s}\n"
+    domains quick (String.concat ", " eco_json) serve_json;
+  close_out oc;
+  Printf.printf "(wrote BENCH_pr9.json)\n%!"
+
 let smoke_main () =
   let specs =
     List.map (fun c -> Option.get (F.Circuits.find_spec c)) [ "term1"; "apex7" ]
@@ -806,12 +1139,57 @@ let smoke_main () =
           exit 1
       | None -> ())
     quality;
+  (* ECO differential: the scripted delta sequences on term1 and apex7,
+     both modes, domains 1/2/4, each step bit-identical to from-scratch.
+     REPRO_QUICK keeps apex7 to waves mode to bound CI time; the full
+     smoke runs the whole matrix. *)
+  let eco_cases =
+    List.concat_map
+      (fun spec ->
+        let modes =
+          if quick && spec.F.Circuits.circuit = "apex7" then [ F.Router.Waves ]
+          else [ F.Router.Waves; F.Router.Negotiated ]
+        in
+        [ (spec, modes) ])
+      specs
+  in
+  let eco_results =
+    List.map
+      (fun (spec, modes) ->
+        eco_section ~specs:[ spec ] ~modes ~domain_counts:[ 1; 2; 4 ] ~max_passes:8 ())
+      eco_cases
+  in
+  let eco_identical = List.for_all (fun (i, _, _) -> i) eco_results in
+  let eco_partial = List.for_all (fun (_, p, _) -> p) eco_results in
+  let eco_json = List.concat_map (fun (_, _, j) -> j) eco_results in
+  if not eco_identical then begin
+    prerr_endline
+      "SMOKE FAIL: an ECO apply diverged from the from-scratch route of the edited netlist";
+    exit 1
+  end;
+  if not eco_partial then begin
+    prerr_endline
+      "SMOKE FAIL: no ECO step ripped up strictly fewer nets than the netlist holds \
+       (incremental path never engaged)";
+    exit 1
+  end;
+  let serve_ok, serve_json =
+    serve_section ~queries:(if quick then 200 else 2000) ~clients:4 ()
+  in
+  if not serve_ok then begin
+    prerr_endline
+      "SMOKE FAIL: serve daemon broke eco-vs-scratch digest identity or left its socket \
+       behind";
+    exit 1
+  end;
+  write_pr9_json ~eco_json ~serve_json;
   Printf.printf
     "smoke OK: trees identical (targeted A/B, %d-domain parallel at %.2fx wall ratio, A* \
      on/off x heap impls, domains 1/2/4), targeted settles >= 2x fewer nodes, \
      goal-direction cuts point-to-point settling %.1fx (>= 2x) with pinned routing \
      quality, journal restore work below full-snapshot scans, negotiated mode converges \
-     overuse-free at the waves widths\n%!"
+     overuse-free at the waves widths, ECO applies bit-identical to from-scratch with \
+     partial rip-up, serve daemon round-trips concurrent ECO clients\n%!"
     domains speedup point_to_point_ratio
 
 (* ------------------------------------------------------------------ *)
@@ -874,6 +1252,19 @@ let () =
     (wall (fun () ->
          astar_section ~specs:neg_specs ~max_passes:(if quick then 3 else 8) ~channel_width:14
            ~neg_circuits:[ "term1"; "apex7" ] ()));
+
+  (let eco_identical, eco_partial, eco_json =
+     wall (fun () ->
+         eco_section ~specs:neg_specs
+           ~modes:[ F.Router.Waves; F.Router.Negotiated ]
+           ~domain_counts:[ 1; domains ] ~max_passes:8 ())
+   in
+   let serve_ok, serve_json =
+     wall (fun () -> serve_section ~queries:(if quick then 500 else 4000) ~clients:4 ())
+   in
+   if not (eco_identical && eco_partial && serve_ok) then
+     prerr_endline "WARNING: ECO/serve section failed a guarantee (see above)";
+   write_pr9_json ~eco_json ~serve_json);
 
   let nets_per_config = if quick then 10 else 50 in
   let max_passes = if quick then 8 else 20 in

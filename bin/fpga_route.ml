@@ -6,7 +6,9 @@
      table     regenerate one of the paper's tables (1-5, or "baseline")
      figure    regenerate one of the paper's figures (3,4,6,10,11,13,14,16)
      circuits  list the benchmark circuit specifications
-     net       route one random net on a congested grid with every algorithm *)
+     net       route one random net on a congested grid with every algorithm
+     serve     long-lived routing daemon speaking newline-delimited JSON
+               (route / eco / stats / checkpoint / shutdown) on a Unix socket *)
 
 module F = Fr_fpga
 module C = Fr_core
@@ -322,10 +324,36 @@ let net_cmd =
     (Cmd.info "net" ~doc:"Route one random net with all eight algorithms")
     Term.(const run_net $ size $ congestion $ seed)
 
+(* ---------------- serve ---------------- *)
+
+let run_serve socket =
+  let server = Fr_serve.Server.create ~socket in
+  Printf.printf "fpga_route: listening on %s\n%!" socket;
+  Fr_serve.Server.serve_forever server;
+  0
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket to listen on.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the routing daemon: newline-delimited JSON requests ($(b,route), $(b,eco), \
+          $(b,stats), $(b,checkpoint), $(b,shutdown)) over a Unix domain socket, maintaining a \
+          long-lived incremental (ECO) routing session between requests")
+    Term.(const run_serve $ socket)
+
 let main =
   Cmd.group
     (Cmd.info "fpga_route" ~version:"1.0.0"
        ~doc:"Performance-driven FPGA routing (Alexander-Robins DAC'95 reproduction)")
-    [ route_cmd; width_cmd; table_cmd; figure_cmd; circuits_cmd; net_cmd; export_cmd; route_file_cmd ]
+    [
+      route_cmd; width_cmd; table_cmd; figure_cmd; circuits_cmd; net_cmd; export_cmd;
+      route_file_cmd; serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -30,6 +30,17 @@ let compare_pin a b =
       let c = Int.compare (Rrg.side_index a.side) (Rrg.side_index b.side) in
       if c <> 0 then c else Int.compare a.slot b.slot
 
+let equal_pin a b = compare_pin a b = 0
+
+(* Order-sensitive: the first pin is the source and the sink order feeds
+   the construction, so a pin permutation is a different net for routing
+   purposes. *)
+let same_net a b =
+  String.equal a.net_name b.net_name
+  && equal_pin a.source b.source
+  && Int.equal (List.length a.sinks) (List.length b.sinks)
+  && List.for_all2 equal_pin a.sinks b.sinks
+
 let make_net ~name ~source ~sinks =
   if sinks = [] then invalid_arg "Netlist.make_net: no sinks";
   let all = source :: sinks in
@@ -119,13 +130,31 @@ let pin_of_string s =
       | _ -> None)
   | _ -> None
 
+let net_to_string n = String.concat " " ("net" :: n.net_name :: List.map pin_to_string (net_pins n))
+
+let parse_words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+let net_of_string line =
+  match parse_words line with
+  | "net" :: net_name :: (_ :: _ :: _ as pins) -> (
+      let parsed = List.map pin_of_string pins in
+      if List.exists (fun p -> p = None) parsed then
+        Error (Printf.sprintf "net %s: malformed pin" net_name)
+      else
+        match List.filter_map (fun p -> p) parsed with
+        | source :: sinks -> (
+            match make_net ~name:net_name ~source ~sinks with
+            | n -> Ok n
+            | exception Invalid_argument msg -> Error msg)
+        | [] -> Error "impossible: empty pin list")
+  | _ -> Error (Printf.sprintf "malformed net line: %s" line)
+
 let of_string text =
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
     |> List.filter (fun l -> l <> "" && l.[0] <> '#')
   in
-  let parse_words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "") in
   match lines with
   | [] -> Error "empty netlist"
   | header :: rest -> (
@@ -136,20 +165,9 @@ let of_string text =
               let rec parse_nets acc = function
                 | [] -> Ok { circuit_name = name; rows; cols; nets = List.rev acc }
                 | line :: more -> (
-                    match parse_words line with
-                    | "net" :: net_name :: (src :: _ :: _ as pins) -> (
-                        ignore src;
-                        let parsed = List.map pin_of_string pins in
-                        if List.exists (fun p -> p = None) parsed then
-                          Error (Printf.sprintf "net %s: malformed pin" net_name)
-                        else
-                          match List.filter_map (fun p -> p) parsed with
-                          | source :: sinks -> (
-                              match make_net ~name:net_name ~source ~sinks with
-                              | n -> parse_nets (n :: acc) more
-                              | exception Invalid_argument msg -> Error msg)
-                          | [] -> Error "impossible: empty pin list")
-                    | _ -> Error (Printf.sprintf "malformed line: %s" line))
+                    match net_of_string line with
+                    | Ok n -> parse_nets (n :: acc) more
+                    | Error e -> Error e)
               in
               parse_nets [] rest
           | _ -> Error "malformed circuit header"

@@ -28,6 +28,13 @@ type circuit = {
 val compare_pin : pin_ref -> pin_ref -> int
 (** Typed total order on pin references: row, then column, side, slot. *)
 
+val equal_pin : pin_ref -> pin_ref -> bool
+
+val same_net : net -> net -> bool
+(** Same name, same source, same sink list.  Order-sensitive: pin order
+    determines the router's source/sink mapping, so a permutation is a
+    different net. *)
+
 val make_net : name:string -> source:pin_ref -> sinks:pin_ref list -> net
 (** @raise Invalid_argument on an empty sink list or duplicate pins. *)
 
@@ -62,3 +69,15 @@ val to_string : circuit -> string
 
 val of_string : string -> (circuit, string) result
 (** Parser for {!to_string}'s format (round-trips). *)
+
+val pin_to_string : pin_ref -> string
+(** [<row>,<col>,<N|E|S|W>,<slot>] — one pin of {!to_string}'s format. *)
+
+val pin_of_string : string -> pin_ref option
+
+val net_to_string : net -> string
+(** [net <name> <pin> <pin> ...] — one line of {!to_string}'s format. *)
+
+val net_of_string : string -> (net, string) result
+(** Parser for a single {!net_to_string} line — the wire format the serve
+    protocol uses for netlist deltas. *)

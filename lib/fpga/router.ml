@@ -474,9 +474,17 @@ let solve_negotiated_job ctx cfg nets par_idx ~worker k =
   attempt ctx.dcaches.(worker) cfg ctx.wrrg nets.(par_idx.(k))
   [@@frdomcheck.worker]
 
-let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w =
+(* Run an already-partitioned batch sequence: speculative fan-out per
+   batch, then ordered landing.  [record], when given, observes every
+   landed batch — the journal mark taken before any of its commits and
+   the nets it committed, in commit order.  That pair is the ECO layer's
+   replay ledger: rolling the journal back to a batch's mark and re-running
+   the schedule suffix from that batch reproduces exactly what a full pass
+   over the same schedule would have done from there. *)
+let run_batches ~par ~par_batches ~par_conflicts ?record caches cfg rrg batches base_w =
   let g = rrg.Rrg.graph in
   let routed = ref [] and failed = ref [] in
+  let routed_count = ref 0 in
   let commit_tree net tree =
     let cnet = Netlist.rrg_net rrg net in
     let max_path =
@@ -489,7 +497,8 @@ let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w 
        dependency explicit.  (The per-domain caches go stale the same
        way and drop their entries on their next versioned lookup.) *)
     pool_invalidate caches;
-    routed := { net; tree; wires_used; max_path } :: !routed
+    routed := { net; tree; wires_used; max_path } :: !routed;
+    incr routed_count
   in
   let land_result net = function
     | None ->
@@ -508,24 +517,71 @@ let route_one_pass ~par ~par_batches ~par_conflicts caches cfg rrg order base_w 
           | None -> failed := net.Netlist.net_name :: !failed
         end
   in
+  let run_batch b =
+    if b.serial then
+      List.iter (fun (net, _) -> land_result net (attempt caches cfg rrg net)) b.members
+    else begin
+      let members = Array.of_list b.members in
+      let count = Array.length members in
+      if count >= 2 then incr par_batches;
+      let solved =
+        match par with
+        | Some ctx when count >= 2 ->
+            Fr_util.Pool.map ctx.wpool ~count (solve_batch_job ctx cfg members)
+        | _ -> Array.map (fun (net, _) -> attempt caches cfg rrg net) members
+      in
+      Array.iteri (fun i r -> land_result (fst members.(i)) r) solved
+    end
+  in
   List.iter
     (fun b ->
-      if b.serial then
-        List.iter (fun (net, _) -> land_result net (attempt caches cfg rrg net)) b.members
-      else begin
-        let members = Array.of_list b.members in
-        let count = Array.length members in
-        if count >= 2 then incr par_batches;
-        let solved =
-          match par with
-          | Some ctx when count >= 2 ->
-              Fr_util.Pool.map ctx.wpool ~count (solve_batch_job ctx cfg members)
-          | _ -> Array.map (fun (net, _) -> attempt caches cfg rrg net) members
-        in
-        Array.iteri (fun i r -> land_result (fst members.(i)) r) solved
-      end)
-    (partition_wave cfg order);
+      match record with
+      | None -> run_batch b
+      | Some f ->
+          let cp_b = G.Gstate.checkpoint g in
+          let count0 = !routed_count in
+          run_batch b;
+          (* The batch's own commits, restored to commit order from the
+             head of the (reversed) accumulator. *)
+          let added = ref [] and rest = ref !routed in
+          for _ = count0 + 1 to !routed_count do
+            match !rest with
+            | r :: tl ->
+                added := r :: !added;
+                rest := tl
+            | [] -> ()
+          done;
+          f ~cp:cp_b b !added)
+    batches;
   (List.rev !routed, List.rev !failed)
+
+let route_one_pass ~par ~par_batches ~par_conflicts ?record caches cfg rrg order base_w =
+  run_batches ~par ~par_batches ~par_conflicts ?record caches cfg rrg (partition_wave cfg order)
+    base_w
+
+(* Early cutoff shared by [route] and the ECO layer: if the number of
+   failing nets has not improved for this many consecutive passes, the
+   width is hopeless — declaring failure early saves most of the
+   downward-infeasible probes. *)
+let waves_stall_limit = 6
+
+(* The rip-up pass loop (waves mode), shared by [route] and the ECO layer.
+   [run ~pass order] routes one pass and returns its (routed, failed);
+   the caller owns all state discipline (which checkpoint to roll back to,
+   whether to truncate the journal afterwards) inside [run].  Both callers
+   feed the exact same loop, which is the ECO identity argument for
+   multi-pass circuits: once pass 1's outcome matches, every subsequent
+   pass is literally the same code on the same inputs. *)
+let rec waves_loop ~run cfg order n ~best ~stalled =
+  let routed, failed = run ~pass:n order in
+  if failed = [] then Ok (routed, n)
+  else begin
+    let count = List.length failed in
+    let best, stalled = if count < best then (count, 0) else (best, stalled + 1) in
+    if n >= cfg.max_passes || stalled >= waves_stall_limit then
+      Error { failed_nets = failed; passes_tried = n }
+    else waves_loop ~run cfg (move_to_front failed order) (n + 1) ~best ~stalled
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Negotiated congestion (PathFinder / Lagrangian pricing)             *)
@@ -572,225 +628,261 @@ let cost_model_params cfg =
 let peak_occupancy rrg =
   List.fold_left (fun acc seg -> Int.max acc (Rrg.segment_occupancy rrg seg)) 0 (Rrg.segments rrg)
 
-let route ?(config = default_config) ?(domains = 1) rrg circuit =
+(* ------------------------------------------------------------------ *)
+(* Shared route-call plumbing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_route_args ~fname cfg rrg circuit domains =
   (match Netlist.validate circuit with
   | Ok () -> ()
-  | Error msg -> invalid_arg ("Router.route: " ^ msg));
-  if circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
-  then invalid_arg "Router.route: circuit does not fit architecture";
-  if domains < 1 then invalid_arg "Router.route: domains must be >= 1";
-  if config.par_batch < 1 then invalid_arg "Router.route: par_batch must be >= 1";
+  | Error msg -> invalid_arg (fname ^ ": " ^ msg));
+  if
+    circuit.Netlist.rows <> rrg.Rrg.arch.Arch.rows
+    || circuit.Netlist.cols <> rrg.Rrg.arch.Arch.cols
+  then invalid_arg (fname ^ ": circuit does not fit architecture");
+  if domains < 1 then invalid_arg (fname ^ ": domains must be >= 1");
+  if cfg.par_batch < 1 then invalid_arg (fname ^ ": par_batch must be >= 1")
+
+let make_par cfg domains rrg =
+  if domains = 1 then None
+  else begin
+    let wrrg = Rrg.read_only_view rrg in
+    Some
+      {
+        wpool = Fr_util.Pool.create ~domains ();
+        wrrg;
+        dcaches = Array.init domains (fun _ -> make_pool cfg wrrg.Rrg.graph);
+      }
+  end
+
+(* Work counters summed over the serial cache pool and every worker
+   domain's pools, snapshotted at call entry so a long-lived state (the
+   ECO layer, the serve daemon) reports per-call deltas rather than
+   lifetime totals. *)
+type counters = {
+  c_runs : int;
+  c_settled : int;
+  c_h_evals : int;
+  c_mut : int;
+  c_rb : int;
+}
+
+let snapshot_counters caches par g =
+  let sum f =
+    f caches
+    + match par with
+      | None -> 0
+      | Some ctx -> Array.fold_left (fun a p -> a + f p) 0 ctx.dcaches
+  in
+  {
+    c_runs = sum pool_runs;
+    c_settled = sum pool_settled;
+    c_h_evals = sum pool_h_evals;
+    c_mut = G.Gstate.mutations g;
+    c_rb = G.Gstate.rollbacks g;
+  }
+
+let mk_stats ~caches ~par ~domains ~par_batches ~par_conflicts ~base cfg rrg routed n =
   let g = rrg.Rrg.graph in
+  let now = snapshot_counters caches par g in
+  {
+    passes = n;
+    routed;
+    total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
+    total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
+    peak_occupancy = peak_occupancy rrg;
+    dijkstra_runs = now.c_runs - base.c_runs;
+    settled_nodes = now.c_settled - base.c_settled;
+    mutations = now.c_mut - base.c_mut;
+    rollbacks = now.c_rb - base.c_rb;
+    journal_depth = G.Gstate.peak_journal_depth g;
+    domains;
+    par_batches = !par_batches;
+    par_conflicts = !par_conflicts;
+    future_cost_evals = now.c_h_evals - base.c_h_evals;
+    heap_impl = G.Pq.impl_name cfg.heap;
+  }
+
+(* Negotiated congestion: nets route against shared, over-subscribable
+   resources priced by the cost model.  Overuse is legal mid-flight; the
+   price escalation (present pressure growing geometrically, history
+   rising by a sub-gradient step on each resource's overuse) drives it
+   to zero.  The first iteration routes the whole netlist at base
+   prices; afterwards every net touching an overused resource is ripped
+   out of the usage counts and re-solved — one parallel fan-out over
+   ALL conflicted nets, no disjointness partition — against the graph
+   priced from the remaining (kept) usage plus history, which is the
+   rip-up discipline of the sub-gradient router (arXiv 1803.03885).
+   Each iteration's solves are pure functions of the epoch's frozen
+   priced graph, the conflicted set is a pure function of the previous
+   iteration, and nets are committed in canonical order only after
+   convergence — so results are bit-identical across [~domains].
+
+   Shared by [route] and the ECO layer.  On [Ok (routed, iters, iter1)]
+   the graph holds the final trees committed at base prices with the
+   journal still live above [cp] — the caller decides whether to truncate
+   ([route]) or keep the entries undoable (ECO).  On [Error] the graph is
+   rolled back to [cp].  [iter1] is the iteration-1 tree of every net: a
+   pure function of the base-priced state, which is what makes it a sound
+   cross-call memo.  [reuse] may serve a net's iteration-1 solve from such
+   a memo — soundness requires it return exactly the tree a fresh solve
+   would (solves are deterministic, so a memo keyed on the net's terminals
+   qualifies).  [note_solved] observes every net actually (re)solved, on
+   every iteration. *)
+let negotiate_run ~par ~par_waves ?reuse ?(note_solved = fun _ -> ()) caches cfg rrg cp base_w
+    nets =
+  let g = rrg.Rrg.graph in
+  let cm = G.Cost_model.create ~params:(cost_model_params cfg) g in
+  let n_nets = Array.length nets in
+  let trees = Array.make n_nets G.Tree.empty in
+  let iter1 = Array.make n_nets G.Tree.empty in
+  let rec iterate n ~active ~best ~stalled =
+    let active =
+      if n = 1 then
+        Array.of_list
+          (List.filter
+             (fun i ->
+               match reuse with
+               | None -> true
+               | Some f -> (
+                   match f nets.(i) with
+                   | Some tree ->
+                       trees.(i) <- tree;
+                       false
+                   | None -> true))
+             (Array.to_list active))
+      else active
+    in
+    Array.iter (fun i -> note_solved nets.(i)) active;
+    let active_nets = Array.map (fun i -> nets.(i)) active in
+    let results = negotiated_iteration ~par ~par_waves caches cfg rrg active_nets in
+    let missing = ref [] in
+    Array.iteri
+      (fun k r ->
+        match r with
+        | Some t -> trees.(active.(k)) <- t
+        | None -> missing := nets.(active.(k)).Netlist.net_name :: !missing)
+      results;
+    if n = 1 then Array.blit trees 0 iter1 0 n_nets;
+    if !missing <> [] then begin
+      (* Some net is unroutable even with every resource shared: no
+         price schedule can fix that.  Restore the entry state. *)
+      G.Gstate.rollback g cp;
+      Error { failed_nets = List.rev !missing; passes_tried = n }
+    end
+    else begin
+      G.Cost_model.begin_iteration cm;
+      Array.iter (fun t -> G.Cost_model.use_nodes cm (G.Tree.nodes g t)) trees;
+      let overuse = G.Cost_model.overuse cm in
+      if overuse = 0 then begin
+        (* Converged: the trees are mutually disjoint.  Roll the prices
+           back to the base weights, then land the trees exactly as the
+           waves mode does — measured and congestion-priced in
+           pre-negotiation units, in canonical net order. *)
+        G.Gstate.rollback g cp;
+        let routed =
+          Array.to_list
+            (Array.mapi
+               (fun i tree ->
+                 let net = nets.(i) in
+                 let cnet = Netlist.rrg_net rrg net in
+                 let max_path =
+                   base_max_path base_w g tree ~net_src:cnet.C.Net.source
+                     ~sinks:cnet.C.Net.sinks
+                 in
+                 let wires_used = Rrg.wirelength rrg tree in
+                 commit cfg rrg net tree;
+                 { net; tree; wires_used; max_path })
+               trees)
+        in
+        Ok (routed, n, iter1)
+      end
+      else begin
+        let best, stalled = if overuse < best then (overuse, 0) else (best, stalled + 1) in
+        let over = Hashtbl.create 64 in
+        List.iter (fun v -> Hashtbl.replace over v ()) (G.Cost_model.overused_nodes cm);
+        let conflicted = ref [] in
+        for i = n_nets - 1 downto 0 do
+          if List.exists (Hashtbl.mem over) (G.Tree.nodes g trees.(i)) then
+            conflicted := i :: !conflicted
+        done;
+        if n >= cfg.neg_max_iterations || stalled >= cfg.neg_stall_limit then begin
+          (* Price escalation stopped helping: report the nets still
+             fighting over an overused resource and restore the entry
+             state. *)
+          G.Gstate.rollback g cp;
+          Error
+            {
+              failed_nets = List.map (fun i -> nets.(i).Netlist.net_name) !conflicted;
+              passes_tried = n;
+            }
+        end
+        else begin
+          (* History escalates on the full usage (the overuse actually
+             observed); then the conflicted nets are ripped out so the
+             present term prices only the kept nets' occupancy. *)
+          G.Cost_model.escalate cm;
+          List.iter
+            (fun i -> G.Cost_model.release_nodes cm (G.Tree.nodes g trees.(i)))
+            !conflicted;
+          G.Cost_model.apply cm;
+          (* The apply bumped the graph version; dropping stale entries
+             here keeps the dependency explicit, as in the waves mode. *)
+          pool_invalidate caches;
+          iterate (n + 1) ~active:(Array.of_list !conflicted) ~best ~stalled
+        end
+      end
+    end
+  in
+  iterate 1 ~active:(Array.init n_nets (fun i -> i)) ~best:max_int ~stalled:0
+
+let route ?(config = default_config) ?(domains = 1) rrg circuit =
+  check_route_args ~fname:"Router.route" config rrg circuit domains;
+  let g = rrg.Rrg.graph in
+  (* Per-call stats hygiene: the peak journal depth is a high-water mark
+     on the state, and the state may outlive this call. *)
+  G.Gstate.reset_peak_journal_depth g;
   (* Entry weights, for measuring committed trees in pre-congestion units. *)
   let base_w = Array.init (G.Gstate.num_edges g) (G.Gstate.weight g) in
   (* Each pass rips up the previous one by rolling the journal back to this
      mark — O(entries the pass wrote), not O(V+E). *)
   let cp = G.Gstate.checkpoint g in
-  let mut0 = G.Gstate.mutations g and rb0 = G.Gstate.rollbacks g in
   let caches = make_pool config g in
   (* The worker pool outlives every pass: spawning domains costs more than
      routing a batch, so it is paid once per [route] call. *)
-  let par =
-    if domains = 1 then None
-    else
-      let wrrg = Rrg.read_only_view rrg in
-      Some
-        {
-          wpool = Fr_util.Pool.create ~domains ();
-          wrrg;
-          dcaches = Array.init domains (fun _ -> make_pool config wrrg.Rrg.graph);
-        }
-  in
+  let par = make_par config domains rrg in
   let finally () = match par with Some ctx -> Fr_util.Pool.shutdown ctx.wpool | None -> () in
   Fun.protect ~finally @@ fun () ->
+  let base = snapshot_counters caches par g in
   let par_batches = ref 0 and par_conflicts = ref 0 in
-  let all_runs () =
-    pool_runs caches
-    + match par with
-      | None -> 0
-      | Some ctx -> Array.fold_left (fun a p -> a + pool_runs p) 0 ctx.dcaches
-  in
-  let all_settled () =
-    pool_settled caches
-    + match par with
-      | None -> 0
-      | Some ctx -> Array.fold_left (fun a p -> a + pool_settled p) 0 ctx.dcaches
-  in
-  let all_h_evals () =
-    pool_h_evals caches
-    + match par with
-      | None -> 0
-      | Some ctx -> Array.fold_left (fun a p -> a + pool_h_evals p) 0 ctx.dcaches
-  in
-  (* Early cutoff: if the number of failing nets has not improved for
-     [stall_limit] consecutive passes, the width is hopeless — declaring
-     failure early saves most of the downward-infeasible probes. *)
-  let stall_limit = 6 in
-  let rec passes order n ~best ~stalled =
-    G.Gstate.rollback g cp;
-    let routed, failed =
-      route_one_pass ~par ~par_batches ~par_conflicts caches config rrg order base_w
-    in
-    if failed = [] then begin
-      (* Keep the final pass's state (useful for rendering): accept its
-         mutations instead of undoing them. *)
-      G.Gstate.commit g cp;
-      Ok
-        {
-          passes = n;
-          routed;
-          total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
-          total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
-          peak_occupancy = peak_occupancy rrg;
-          dijkstra_runs = all_runs ();
-          settled_nodes = all_settled ();
-          mutations = G.Gstate.mutations g - mut0;
-          rollbacks = G.Gstate.rollbacks g - rb0;
-          journal_depth = G.Gstate.peak_journal_depth g;
-          domains;
-          par_batches = !par_batches;
-          par_conflicts = !par_conflicts;
-          future_cost_evals = all_h_evals ();
-          heap_impl = G.Pq.impl_name config.heap;
-        }
-    end
-    else begin
-      let count = List.length failed in
-      let best, stalled = if count < best then (count, 0) else (best, stalled + 1) in
-      if n >= config.max_passes || stalled >= stall_limit then begin
-        G.Gstate.commit g cp;
-        Error { failed_nets = failed; passes_tried = n }
-      end
-      else passes (move_to_front failed order) (n + 1) ~best ~stalled
-    end
-  in
-  (* Negotiated congestion: nets route against shared, over-subscribable
-     resources priced by the cost model.  Overuse is legal mid-flight; the
-     price escalation (present pressure growing geometrically, history
-     rising by a sub-gradient step on each resource's overuse) drives it
-     to zero.  The first iteration routes the whole netlist at base
-     prices; afterwards every net touching an overused resource is ripped
-     out of the usage counts and re-solved — one parallel fan-out over
-     ALL conflicted nets, no disjointness partition — against the graph
-     priced from the remaining (kept) usage plus history, which is the
-     rip-up discipline of the sub-gradient router (arXiv 1803.03885).
-     Each iteration's solves are pure functions of the epoch's frozen
-     priced graph, the conflicted set is a pure function of the previous
-     iteration, and nets are committed in canonical order only after
-     convergence — so results are bit-identical across [~domains]. *)
-  let negotiate () =
-    let cm = G.Cost_model.create ~params:(cost_model_params config) g in
-    let nets = Array.of_list (initial_order circuit.Netlist.nets) in
-    let n_nets = Array.length nets in
-    let trees = Array.make n_nets G.Tree.empty in
-    let rec iterate n ~active ~best ~stalled =
-      let active_nets = Array.map (fun i -> nets.(i)) active in
-      let results =
-        negotiated_iteration ~par ~par_waves:par_batches caches config rrg active_nets
-      in
-      let missing = ref [] in
-      Array.iteri
-        (fun k r ->
-          match r with
-          | Some t -> trees.(active.(k)) <- t
-          | None -> missing := nets.(active.(k)).Netlist.net_name :: !missing)
-        results;
-      if !missing <> [] then begin
-        (* Some net is unroutable even with every resource shared: no
-           price schedule can fix that.  Restore the entry state. *)
-        G.Gstate.rollback g cp;
-        Error { failed_nets = List.rev !missing; passes_tried = n }
-      end
-      else begin
-        G.Cost_model.begin_iteration cm;
-        Array.iter (fun t -> G.Cost_model.use_nodes cm (G.Tree.nodes g t)) trees;
-        let overuse = G.Cost_model.overuse cm in
-        if overuse = 0 then begin
-          (* Converged: the trees are mutually disjoint.  Roll the prices
-             back to the base weights, then land the trees exactly as the
-             waves mode does — measured and congestion-priced in
-             pre-negotiation units, in canonical net order. *)
-          G.Gstate.rollback g cp;
-          let routed =
-            Array.to_list
-              (Array.mapi
-                 (fun i tree ->
-                   let net = nets.(i) in
-                   let cnet = Netlist.rrg_net rrg net in
-                   let max_path =
-                     base_max_path base_w g tree ~net_src:cnet.C.Net.source
-                       ~sinks:cnet.C.Net.sinks
-                   in
-                   let wires_used = Rrg.wirelength rrg tree in
-                   commit config rrg net tree;
-                   { net; tree; wires_used; max_path })
-                 trees)
-          in
-          G.Gstate.commit g cp;
-          Ok
-            {
-              passes = n;
-              routed;
-              total_wirelength = List.fold_left (fun a r -> a +. r.wires_used) 0. routed;
-              total_max_path = List.fold_left (fun a r -> a +. r.max_path) 0. routed;
-              peak_occupancy = peak_occupancy rrg;
-              dijkstra_runs = all_runs ();
-              settled_nodes = all_settled ();
-              mutations = G.Gstate.mutations g - mut0;
-              rollbacks = G.Gstate.rollbacks g - rb0;
-              journal_depth = G.Gstate.peak_journal_depth g;
-              domains;
-              par_batches = !par_batches;
-              par_conflicts = !par_conflicts;
-              future_cost_evals = all_h_evals ();
-              heap_impl = G.Pq.impl_name config.heap;
-            }
-        end
-        else begin
-          let best, stalled = if overuse < best then (overuse, 0) else (best, stalled + 1) in
-          let over = Hashtbl.create 64 in
-          List.iter (fun v -> Hashtbl.replace over v ()) (G.Cost_model.overused_nodes cm);
-          let conflicted = ref [] in
-          for i = n_nets - 1 downto 0 do
-            if List.exists (Hashtbl.mem over) (G.Tree.nodes g trees.(i)) then
-              conflicted := i :: !conflicted
-          done;
-          if n >= config.neg_max_iterations || stalled >= config.neg_stall_limit then begin
-            (* Price escalation stopped helping: report the nets still
-               fighting over an overused resource and restore the entry
-               state. *)
-            G.Gstate.rollback g cp;
-            Error
-              {
-                failed_nets = List.map (fun i -> nets.(i).Netlist.net_name) !conflicted;
-                passes_tried = n;
-              }
-          end
-          else begin
-            (* History escalates on the full usage (the overuse actually
-               observed); then the conflicted nets are ripped out so the
-               present term prices only the kept nets' occupancy. *)
-            G.Cost_model.escalate cm;
-            List.iter
-              (fun i -> G.Cost_model.release_nodes cm (G.Tree.nodes g trees.(i)))
-              !conflicted;
-            G.Cost_model.apply cm;
-            (* The apply bumped the graph version; dropping stale entries
-               here keeps the dependency explicit, as in the waves mode. *)
-            pool_invalidate caches;
-            iterate (n + 1) ~active:(Array.of_list !conflicted) ~best ~stalled
-          end
-        end
-      end
-    in
-    iterate 1 ~active:(Array.init n_nets (fun i -> i)) ~best:max_int ~stalled:0
+  let stats routed n =
+    mk_stats ~caches ~par ~domains ~par_batches ~par_conflicts ~base config rrg routed n
   in
   match config.mode with
-  | Waves -> passes (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
-  | Negotiated -> negotiate ()
+  | Waves ->
+      let run ~pass:_ order =
+        G.Gstate.rollback g cp;
+        route_one_pass ~par ~par_batches ~par_conflicts caches config rrg order base_w
+      in
+      let r =
+        waves_loop ~run config (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
+      in
+      (* Keep the final pass's state (useful for rendering) whether it
+         succeeded or stalled: accept its mutations instead of undoing
+         them. *)
+      G.Gstate.commit g cp;
+      Result.map (fun (routed, n) -> stats routed n) r
+  | Negotiated -> (
+      let nets = Array.of_list (initial_order circuit.Netlist.nets) in
+      match negotiate_run ~par ~par_waves:par_batches caches config rrg cp base_w nets with
+      | Ok (routed, n, _iter1) ->
+          G.Gstate.commit g cp;
+          Ok (stats routed n)
+      | Error f -> Error f)
 
 let min_channel_width ?(config = default_config) ?(domains = 1) ~arch_of_width ~circuit
     ~start ?max_width () =
+  if start < 1 then invalid_arg "Router.min_channel_width: start must be >= 1";
   let max_width = match max_width with Some m -> m | None -> start + 15 in
   let try_width w =
     let rrg = Rrg.build (arch_of_width w) in
@@ -810,14 +902,317 @@ let min_channel_width ?(config = default_config) ?(domains = 1) ~arch_of_width ~
       | None -> bisect mid hi best
     end
   in
-  (* When [start] itself fails, bracket a succeeding width by galloping
-     upward with doubling steps, then bisect inside the last gap. *)
+  (* When the first probe fails, bracket a succeeding width by galloping
+     upward with doubling steps, then bisect inside the last gap.  The
+     probe sequence is clamped to [max_width], so the cap itself is always
+     attempted before giving up. *)
   let rec gallop_up lo step =
     let w = min max_width (lo + step) in
     match try_width w with
     | Some stats -> bisect lo w stats
     | None -> if w >= max_width then None else gallop_up w (2 * step)
   in
-  match try_width start with
-  | Some stats -> bisect 0 start stats
-  | None -> if start >= max_width then None else gallop_up start 1
+  if max_width < 1 then None
+  else begin
+    (* The initial probe must stay inside the bracket: a [start] above
+       [max_width] handed straight to [bisect] as its succeeding [hi]
+       could report a width past the cap the caller set. *)
+    let first = min start max_width in
+    match try_width first with
+    | Some stats -> bisect 0 first stats
+    | None -> if first >= max_width then None else gallop_up first 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (ECO) re-routing                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Eco = struct
+  type delta =
+    | Add_net of Netlist.net
+    | Remove_net of string
+    | Retime_net of string * Netlist.pin_ref * Netlist.pin_ref list
+
+  (* One landed batch of the maintained pass-1 schedule: the journal mark
+     taken before its first commit (rolling back to it erases this batch
+     and everything after it), the member nets (the schedule key) and the
+     commits it produced. *)
+  type batch_rec = {
+    br_cp : G.Gstate.checkpoint;
+    br_serial : bool;
+    br_nets : Netlist.net list;
+    br_routed : routed_net list;
+  }
+
+  type t = {
+    e_rrg : Rrg.t;
+    e_cfg : config;
+    e_domains : int;
+    e_base_w : float array;
+    e_cp0 : G.Gstate.checkpoint;
+    e_caches : cache_pool;
+    e_par : par_ctx option;
+    mutable e_circuit : Netlist.circuit;
+    mutable e_batches : batch_rec list;
+    mutable e_routed : routed_net list;
+    mutable e_memo : (string, G.Tree.t) Hashtbl.t;
+    mutable e_last : stats option;
+    mutable e_closed : bool;
+  }
+
+  type eco_stats = {
+    stats : stats;
+    nets_total : int;
+    nets_ripped : int;
+    nets_reused : int;
+  }
+
+  let terminal_key net =
+    String.concat "|" (List.map Netlist.pin_to_string (Netlist.net_pins net))
+
+  let batch_matches br (b : batch) =
+    Bool.equal br.br_serial b.serial
+    && Int.equal (List.length br.br_nets) b.size
+    && List.for_all2 (fun n (m, _) -> Netlist.same_net n m) br.br_nets b.members
+
+  (* Waves-mode (re-)route of [circuit] against the maintained ledger. *)
+  let waves_route t circuit ~ripped ~reused =
+    let g = t.e_rrg.Rrg.graph in
+    let par_batches = ref 0 and par_conflicts = ref 0 in
+    let final = ref [] and kept = ref [] in
+    let record ~cp b routed_b =
+      final :=
+        {
+          br_cp = cp;
+          br_serial = b.serial;
+          br_nets = List.map fst b.members;
+          br_routed = routed_b;
+        }
+        :: !final
+    in
+    let rip net = Hashtbl.replace ripped net.Netlist.net_name () in
+    let run ~pass order =
+      final := [];
+      if pass = 1 then begin
+        (* Pass 1 starts exactly where a scratch route's pass 1 would.  The
+           landed state after any batch is a pure function of the schedule
+           prefix up to it (speculative solves read the frozen batch-start
+           state, conflict re-solves and commits read the live one — all
+           deterministic), so the longest prefix of the new schedule that
+           matches the maintained ledger is already, verbatim, in the
+           graph.  Everything from the first mismatched batch on is rolled
+           back in one targeted journal rollback and re-run live. *)
+        let rec split acc stored sched =
+          match (stored, sched) with
+          | br :: stored', b :: sched' when batch_matches br b ->
+              split (br :: acc) stored' sched'
+          | _ -> (List.rev acc, stored, sched)
+        in
+        let pre, stale, suffix = split [] t.e_batches (partition_wave t.e_cfg order) in
+        (match stale with
+        | br :: _ -> G.Gstate.rollback g br.br_cp
+        | [] -> ());
+        kept := pre;
+        List.iter
+          (fun br ->
+            List.iter (fun n -> Hashtbl.replace reused n.Netlist.net_name ()) br.br_nets)
+          pre;
+        List.iter (fun b -> List.iter (fun (n, _) -> rip n) b.members) suffix;
+        let routed_suffix, failed =
+          run_batches ~par:t.e_par ~par_batches ~par_conflicts ~record t.e_caches t.e_cfg
+            t.e_rrg suffix t.e_base_w
+        in
+        (List.concat_map (fun br -> br.br_routed) pre @ routed_suffix, failed)
+      end
+      else begin
+        (* A later pass is a full re-route: scratch and ECO run the same
+           loop from here on, so the differential stays exact even when
+           the edit pushes the circuit into multi-pass territory. *)
+        kept := [];
+        Hashtbl.reset reused;
+        List.iter rip circuit.Netlist.nets;
+        G.Gstate.rollback g t.e_cp0;
+        route_one_pass ~par:t.e_par ~par_batches ~par_conflicts ~record t.e_caches t.e_cfg
+          t.e_rrg order t.e_base_w
+      end
+    in
+    match
+      waves_loop ~run t.e_cfg (initial_order circuit.Netlist.nets) 1 ~best:max_int ~stalled:0
+    with
+    | Ok (routed, n) ->
+        t.e_batches <- !kept @ List.rev !final;
+        t.e_routed <- routed;
+        t.e_circuit <- circuit;
+        Ok (routed, n, par_batches, par_conflicts)
+    | Error f -> Error (f, par_batches, par_conflicts)
+
+  (* Negotiated pricing has no batch structure to keep a prefix of: the
+     maintained trees are torn down and the netlist re-negotiated from the
+     base state, with iteration-1 solves — pure functions of that state —
+     served from the previous session's memo.  Any net the pricing loop
+     touches after iteration 1 is honestly counted as ripped. *)
+  let negotiated_route t circuit ~ripped ~reused =
+    let g = t.e_rrg.Rrg.graph in
+    let par_batches = ref 0 and par_conflicts = ref 0 in
+    G.Gstate.rollback g t.e_cp0;
+    let reuse net =
+      match Hashtbl.find_opt t.e_memo (terminal_key net) with
+      | Some tree ->
+          Hashtbl.replace reused net.Netlist.net_name ();
+          Some tree
+      | None -> None
+    in
+    let note_solved net =
+      Hashtbl.remove reused net.Netlist.net_name;
+      Hashtbl.replace ripped net.Netlist.net_name ()
+    in
+    let nets = Array.of_list (initial_order circuit.Netlist.nets) in
+    match
+      negotiate_run ~par:t.e_par ~par_waves:par_batches ~reuse ~note_solved t.e_caches
+        t.e_cfg t.e_rrg t.e_cp0 t.e_base_w nets
+    with
+    | Ok (routed, n, iter1) ->
+        let memo = Hashtbl.create (2 * Array.length nets) in
+        Array.iteri (fun i net -> Hashtbl.replace memo (terminal_key net) iter1.(i)) nets;
+        t.e_memo <- memo;
+        t.e_routed <- routed;
+        t.e_circuit <- circuit;
+        Ok (routed, n, par_batches, par_conflicts)
+    | Error f -> Error (f, par_batches, par_conflicts)
+
+  (* Re-establish the maintained routing after a failed [apply]: tear the
+     failed attempt down and replay the stored trees.  Committing a known
+     tree is deterministic given the commit order, so this reproduces the
+     exact pre-request state (with fresh journal marks for the ledger). *)
+  let restore t =
+    let g = t.e_rrg.Rrg.graph in
+    G.Gstate.rollback g t.e_cp0;
+    (match t.e_cfg.mode with
+    | Waves ->
+        t.e_batches <-
+          List.map
+            (fun br ->
+              let cp = G.Gstate.checkpoint g in
+              List.iter (fun r -> commit t.e_cfg t.e_rrg r.net r.tree) br.br_routed;
+              { br with br_cp = cp })
+            t.e_batches
+    | Negotiated -> List.iter (fun r -> commit t.e_cfg t.e_rrg r.net r.tree) t.e_routed);
+    pool_invalidate t.e_caches
+
+  let run_mode t circuit ~ripped ~reused =
+    match t.e_cfg.mode with
+    | Waves -> waves_route t circuit ~ripped ~reused
+    | Negotiated -> negotiated_route t circuit ~ripped ~reused
+
+  let finish t ~base ~ripped ~reused circuit = function
+    | Ok (routed, n, par_batches, par_conflicts) ->
+        let stats =
+          mk_stats ~caches:t.e_caches ~par:t.e_par ~domains:t.e_domains ~par_batches
+            ~par_conflicts ~base t.e_cfg t.e_rrg routed n
+        in
+        t.e_last <- Some stats;
+        Ok
+          {
+            stats;
+            nets_total = List.length circuit.Netlist.nets;
+            nets_ripped = Hashtbl.length ripped;
+            nets_reused = Hashtbl.length reused;
+          }
+    | Error (f, _, _) -> Error f
+
+  let create ?(config = default_config) ?(domains = 1) rrg circuit =
+    check_route_args ~fname:"Router.Eco.create" config rrg circuit domains;
+    let g = rrg.Rrg.graph in
+    G.Gstate.reset_peak_journal_depth g;
+    let t =
+      {
+        e_rrg = rrg;
+        e_cfg = config;
+        e_domains = domains;
+        e_base_w = Array.init (G.Gstate.num_edges g) (G.Gstate.weight g);
+        e_cp0 = G.Gstate.checkpoint g;
+        e_caches = make_pool config g;
+        e_par = make_par config domains rrg;
+        e_circuit = circuit;
+        e_batches = [];
+        e_routed = [];
+        e_memo = Hashtbl.create 64;
+        e_last = None;
+        e_closed = false;
+      }
+    in
+    let base = snapshot_counters t.e_caches t.e_par g in
+    let ripped = Hashtbl.create 64 and reused = Hashtbl.create 16 in
+    match finish t ~base ~ripped ~reused circuit (run_mode t circuit ~ripped ~reused) with
+    | Ok es -> Ok (t, es)
+    | Error f ->
+        (* A session never outlives a failed initial route: leave the graph
+           as it entered and tear the pool down. *)
+        G.Gstate.rollback g t.e_cp0;
+        (match t.e_par with Some ctx -> Fr_util.Pool.shutdown ctx.wpool | None -> ());
+        Error f
+
+  let delta_name = function
+    | Add_net n -> n.Netlist.net_name
+    | Remove_net name | Retime_net (name, _, _) -> name
+
+  let edit_circuit circuit d =
+    let name = delta_name d in
+    let mem =
+      List.exists (fun n -> String.equal n.Netlist.net_name name) circuit.Netlist.nets
+    in
+    match d with
+    | Add_net n ->
+        if mem then invalid_arg ("Router.Eco.apply: net already present: " ^ name);
+        { circuit with Netlist.nets = circuit.Netlist.nets @ [ n ] }
+    | Remove_net _ ->
+        if not mem then invalid_arg ("Router.Eco.apply: no such net: " ^ name);
+        {
+          circuit with
+          Netlist.nets =
+            List.filter
+              (fun n -> not (String.equal n.Netlist.net_name name))
+              circuit.Netlist.nets;
+        }
+    | Retime_net (_, source, sinks) ->
+        if not mem then invalid_arg ("Router.Eco.apply: no such net: " ^ name);
+        let replacement = Netlist.make_net ~name ~source ~sinks in
+        {
+          circuit with
+          Netlist.nets =
+            List.map
+              (fun n -> if String.equal n.Netlist.net_name name then replacement else n)
+              circuit.Netlist.nets;
+        }
+
+  let apply t deltas =
+    if t.e_closed then invalid_arg "Router.Eco.apply: session closed";
+    let circuit = List.fold_left edit_circuit t.e_circuit deltas in
+    (match Netlist.validate circuit with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Router.Eco.apply: " ^ msg));
+    let g = t.e_rrg.Rrg.graph in
+    G.Gstate.reset_peak_journal_depth g;
+    let base = snapshot_counters t.e_caches t.e_par g in
+    let ripped = Hashtbl.create 64 and reused = Hashtbl.create 64 in
+    let res = run_mode t circuit ~ripped ~reused in
+    (match res with
+    | Ok _ -> ()
+    | Error _ ->
+        (* The edited netlist does not route; put the pre-request routing
+           back so the session stays usable. *)
+        restore t);
+    finish t ~base ~ripped ~reused circuit res
+
+  let circuit t = t.e_circuit
+
+  let routed t = t.e_routed
+
+  let last_stats t = t.e_last
+
+  let close t =
+    if not t.e_closed then begin
+      t.e_closed <- true;
+      match t.e_par with Some ctx -> Fr_util.Pool.shutdown ctx.wpool | None -> ()
+    end
+end

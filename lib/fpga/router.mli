@@ -148,7 +148,8 @@ type stats = {
       (** journal rollbacks performed (one per rip-up pass, plus one per
           two-pin connection batch) *)
   journal_depth : int;
-      (** peak undo-journal depth — the per-pass restore cost, to compare
+      (** peak undo-journal depth during {e this} call (the high-water mark
+          is reset at entry) — the per-pass restore cost, to compare
           against the O(V+E) full-graph snapshot scans it replaced *)
   domains : int;  (** domain count this route ran with *)
   par_batches : int;
@@ -194,6 +195,10 @@ val route :
     solves run on; the routed trees and all quality stats are identical
     for every value (see the batching note above).  Worker domains are
     spawned once per call and shut down before returning.
+
+    All work counters in {!stats} are per-call: calling [route] twice on
+    the same (reusable) graph state reports each call's own work, not the
+    state's lifetime totals.
     @raise Invalid_argument when the circuit does not fit the RRG or does
     not validate, or when [domains < 1]. *)
 
@@ -210,4 +215,85 @@ val min_channel_width :
     assuming feasibility is monotone in the width: bisects between the last
     failing and first succeeding width, galloping upward from [start]
     until [max_width] (default [start + 15]) when [start] itself fails.
-    [None] if even [max_width] fails. *)
+    [None] if even [max_width] fails.
+
+    The search is confined to [[1, max_width]]: the first probe is
+    [min start max_width] (so a [start] above the cap can never report a
+    width past it), the gallop's clamped probe sequence always attempts
+    [max_width] itself before giving up, and a [max_width < 1] bracket is
+    empty, hence [None].
+    @raise Invalid_argument when [start < 1]. *)
+
+(** {2 Incremental (ECO) re-routing}
+
+    A long-lived routing session over one RRG: the journal is kept live
+    (never truncated) above the session's base checkpoint, so a netlist
+    delta only needs a {e targeted rollback} — to the first wave batch the
+    edit invalidates (waves mode) or to the base state (negotiated mode) —
+    followed by a re-route of the affected suffix against the live state
+    on the session's persistent domain pool.
+
+    The contract is differential exactness, not best effort: after
+    {!Eco.apply}, the maintained routing (trees, wirelength, pathlength,
+    pass count, failure verdicts) is bit-identical to a from-scratch
+    {!route} of the edited netlist with the same config — waves mode
+    because the kept schedule prefix is a pure function of the batch
+    sequence and later passes run the scratch loop verbatim, negotiated
+    mode because reused iteration-1 trees are pure functions of the base
+    state.  What the ECO path saves is the work for the kept prefix /
+    memoized solves, reported per request in {!Eco.eco_stats}. *)
+
+module Eco : sig
+  type t
+  (** A routing session: the RRG, its live journal, persistent distance
+      caches and worker pool, the maintained routing, and the replay
+      ledger incremental requests roll back into. *)
+
+  type delta =
+    | Add_net of Netlist.net  (** append a net (name must be fresh) *)
+    | Remove_net of string  (** drop a net by name *)
+    | Retime_net of string * Netlist.pin_ref * Netlist.pin_ref list
+        (** replace a net's terminals: name, new source, new sinks *)
+
+  type eco_stats = {
+    stats : stats;  (** per-request router stats (counters are deltas) *)
+    nets_total : int;  (** nets in the edited netlist *)
+    nets_ripped : int;  (** nets this request ripped up and re-solved *)
+    nets_reused : int;  (** nets whose routing survived untouched *)
+  }
+
+  val create :
+    ?config:config ->
+    ?domains:int ->
+    Rrg.t ->
+    Netlist.circuit ->
+    (t * eco_stats, failure) result
+  (** Route the circuit from scratch and open a session maintaining the
+      result.  The session owns its worker pool until {!close}; on
+      [Error] no session is created, the pool is torn down and the graph
+      is restored to its entry state.
+      @raise Invalid_argument as {!route}. *)
+
+  val apply : t -> delta list -> (eco_stats, failure) result
+  (** Apply the deltas (in order) to the maintained netlist and re-route
+      incrementally.  On [Ok] the session maintains the edited netlist's
+      routing; on [Error] (the edited netlist does not route at this
+      width) the pre-request netlist and routing are restored, so the
+      session remains usable.
+      @raise Invalid_argument on a malformed delta (unknown or duplicate
+      net name, invalid pins, a pin already used by another net) or on a
+      closed session; the session is unchanged. *)
+
+  val circuit : t -> Netlist.circuit
+  (** The maintained netlist (reflects all applied deltas). *)
+
+  val routed : t -> routed_net list
+  (** The maintained routing, in the same order {!route} reports. *)
+
+  val last_stats : t -> stats option
+  (** Router stats of the most recent successful request. *)
+
+  val close : t -> unit
+  (** Shut the session's worker pool down (idempotent).  The graph keeps
+      the maintained routing's state. *)
+end

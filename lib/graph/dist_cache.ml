@@ -1,6 +1,15 @@
+(* Entries form an intrusive doubly-linked recency list threaded through
+   the table's values: the list head is the most recently touched entry,
+   the tail the least.  Touch (hit or insert) unlinks the entry and pushes
+   it to the head; eviction drops the tail — both O(1), where the previous
+   scheme scanned the whole table for the minimum LRU tick on every insert
+   at capacity, turning the miss path O(capacity) per miss under ECO
+   churn. *)
 type entry = {
+  key : int * int;
   res : Dijkstra.result;
-  mutable tick : int;  (* last-touch LRU clock value *)
+  mutable prev : entry option;  (* neighbor toward the MRU head *)
+  mutable next : entry option;  (* neighbor toward the LRU tail *)
 }
 
 (* Entries are keyed by (source, heuristic id): a frontier opened under
@@ -20,9 +29,10 @@ type t = {
   delta : float option;
   capacity : int;
   table : (int * int, entry) Hashtbl.t;
+  mutable head : entry option;  (* most recently touched *)
+  mutable tail : entry option;  (* least recently touched: next eviction *)
   mutable future : Dijkstra.heuristic option;
   mutable stamp : int;
-  mutable clock : int;
   (* Monotone lifetime counters; survive invalidations and evictions. *)
   mutable runs : int;
   mutable hits : int;
@@ -45,9 +55,10 @@ let create ?restrict ?(targeted = true) ?(capacity = default_capacity) ?(heap = 
     delta;
     capacity;
     table = Hashtbl.create 64;
+    head = None;
+    tail = None;
     future = None;
     stamp = Gstate.version g;
-    clock = 0;
     runs = 0;
     hits = 0;
     misses = 0;
@@ -62,13 +73,34 @@ let set_future_cost t h = t.future <- h
 
 let future_cost t = t.future
 
+(* Recency-list plumbing.  [unlink] is safe on any live entry (head, tail
+   or middle); the option patterns decide which neighbor pointers to fix,
+   so no identity comparisons are needed. *)
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  unlink t e;
+  push_front t e
+
 let account_drop t e =
   t.settled_gone <- t.settled_gone + Dijkstra.settled_count e.res;
   t.h_evals_gone <- t.h_evals_gone + Dijkstra.future_cost_evals e.res
 
 let drop_all t =
   Hashtbl.iter (fun _ e -> account_drop t e) t.table;
-  Hashtbl.reset t.table
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
 
 let invalidate t =
   drop_all t;
@@ -78,24 +110,13 @@ let refresh t =
   let ver = Gstate.version t.g in
   if ver <> t.stamp then invalidate t
 
-let touch t e =
-  t.clock <- t.clock + 1;
-  e.tick <- t.clock
-
 let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key e ->
-      match !victim with
-      | Some (_, tick) when tick <= e.tick -> ()
-      | _ -> victim := Some (key, e.tick))
-    t.table;
-  match !victim with
+  match t.tail with
   | None -> ()
-  | Some (key, _) ->
-      let e = Hashtbl.find t.table key in
-      account_drop t e;
-      Hashtbl.remove t.table key;
+  | Some victim ->
+      unlink t victim;
+      account_drop t victim;
+      Hashtbl.remove t.table victim.key;
       t.evictions <- t.evictions + 1
 
 (* Look up (or run) the per-source result, bounded to [targets] when the
@@ -124,8 +145,8 @@ let lookup t ~src ~targets =
       in
       t.runs <- t.runs + 1;
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      let e = { res; tick = 0 } in
-      touch t e;
+      let e = { key; res; prev = None; next = None } in
+      push_front t e;
       Hashtbl.add t.table key e;
       res
 

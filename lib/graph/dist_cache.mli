@@ -34,7 +34,7 @@
     benchmarks and tests.
 
     {b Thread-safety audit} (for the parallel router).  A cache is {e not}
-    thread-safe: lookups mutate the LRU table and clock, and resuming a
+    thread-safe: lookups mutate the table and recency list, and resuming a
     memoized {!Dijkstra.result} refines its arrays in place.  The parallel
     router therefore gives each worker domain its own cache over a shared
     {!Gstate.read_only_view}; within one cache all mutation is owner-local,

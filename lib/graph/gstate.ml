@@ -176,6 +176,11 @@ let rollback_entries g = g.meta.undone
 
 let peak_journal_depth g = g.meta.peak_depth
 
+(* Per-call stats hygiene: a long-lived state (the serve daemon routes on
+   one [Gstate] for its whole life) would otherwise report the lifetime
+   high-water mark from every later call. *)
+let reset_peak_journal_depth g = g.meta.peak_depth <- g.meta.jlen
+
 (* ------------------------------------------------------------------ *)
 (* Traversal                                                           *)
 (* ------------------------------------------------------------------ *)

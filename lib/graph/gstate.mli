@@ -150,7 +150,14 @@ val rollback_entries : t -> int
     restore work, to compare against O(V+E) full-graph scans. *)
 
 val peak_journal_depth : t -> int
-(** High-water mark of {!journal_depth}. *)
+(** High-water mark of {!journal_depth} since creation or the last
+    {!reset_peak_journal_depth}. *)
+
+val reset_peak_journal_depth : t -> unit
+(** Restart the {!peak_journal_depth} high-water mark at the current
+    {!journal_depth}.  Callers that report a per-call peak (the router
+    resets at every [route] entry; the ECO layer at every request) would
+    otherwise re-report the lifetime maximum of a long-lived state. *)
 
 (** {2 Hot-loop accessors}
 

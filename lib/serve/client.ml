@@ -1,0 +1,27 @@
+(* Blocking client for the daemon's newline-delimited JSON protocol —
+   what the bench driver, the CI smoke and the tests connect with. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception e ->
+      Unix.close fd;
+      raise e
+
+let request t req =
+  output_string t.oc (Json.to_string req);
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> Json.of_string line
+  | exception End_of_file -> Error "connection closed by server"
+
+let close t =
+  match Unix.close t.fd with () -> () | exception Unix.Unix_error _ -> ()

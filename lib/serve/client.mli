@@ -1,0 +1,17 @@
+(** Blocking client for the daemon protocol (one request, one response).
+
+    Used by the bench driver and the CI serve smoke; any program that can
+    write a JSON line to a Unix socket can do the same. *)
+
+type t
+
+val connect : socket:string -> t
+(** @raise Unix.Unix_error when the daemon is not listening. *)
+
+val request : t -> Json.t -> (Json.t, string) result
+(** Send one request line, block for the response line, parse it.
+    [Error] on a protocol-framing failure (closed connection, non-JSON
+    response); application-level failures come back as [Ok] objects with
+    [{"ok":false}]. *)
+
+val close : t -> unit

@@ -1,0 +1,252 @@
+(* The routing daemon: a Unix-domain-socket front end over a long-lived
+   Router.Eco session.
+
+   Concurrency model: one listener thread ([serve_forever]) accepts
+   connections and hands each to its own thread; every request dispatches
+   under one global mutex, so the Eco session — and the domain pool it
+   owns — is only ever driven from one thread at a time (Pool is not
+   thread-safe).  CPU parallelism comes from inside the router (the
+   session's worker domains), not from overlapping requests; concurrent
+   clients interleave at request granularity and each still sees
+   serializable sessions.  Responses carry per-request stats, so an
+   interleaved client reads its own request's work, not a shared total. *)
+
+module F = Fr_fpga
+
+type session = {
+  eco : F.Router.Eco.t;
+  width : int;
+  mode : F.Router.mode;
+  domains : int;
+  mutable checkpoints : (int * F.Netlist.circuit) list;  (* newest first *)
+  mutable next_checkpoint : int;
+}
+
+type t = {
+  sock : Unix.file_descr;
+  path : string;
+  lock : Mutex.t;
+  mutable session : session option;
+  mutable requests : int;
+  mutable stopping : bool;
+  mutable conns : Thread.t list;
+}
+
+let create ~socket =
+  if Sys.file_exists socket then Sys.remove socket;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX socket);
+  Unix.listen sock 16;
+  {
+    sock;
+    path = socket;
+    lock = Mutex.create ();
+    session = None;
+    requests = 0;
+    stopping = false;
+    conns = [];
+  }
+
+let socket_path t = t.path
+
+let close_session t =
+  match t.session with
+  | None -> ()
+  | Some s ->
+      F.Router.Eco.close s.eco;
+      t.session <- None
+
+(* ---------------- request handlers (called under t.lock) ---------------- *)
+
+let handle_route t (r : Protocol.route_req) =
+  match F.Netlist.of_string r.Protocol.circuit_text with
+  | Error e -> Protocol.error (Printf.sprintf "bad circuit: %s" e)
+  | Ok circuit -> (
+      let arch =
+        F.Arch.xc4000 ~rows:circuit.F.Netlist.rows ~cols:circuit.F.Netlist.cols
+          ~channel_width:r.Protocol.width
+      in
+      let rrg = F.Rrg.build arch in
+      let config =
+        match r.Protocol.max_passes with
+        | Some p -> F.Router.config_with ~mode:r.Protocol.mode ~max_passes:p ()
+        | None -> F.Router.config_with ~mode:r.Protocol.mode ()
+      in
+      match F.Router.Eco.create ~config ~domains:r.Protocol.domains rrg circuit with
+      | Ok (eco, es) ->
+          close_session t;
+          t.session <-
+            Some
+              {
+                eco;
+                width = r.Protocol.width;
+                mode = r.Protocol.mode;
+                domains = r.Protocol.domains;
+                checkpoints = [];
+                next_checkpoint = 1;
+              };
+          Protocol.routed_response es
+      | Error f ->
+          (* No session opened; a previous session, if any, is kept. *)
+          Protocol.unroutable_response f
+      | exception Invalid_argument msg -> Protocol.error msg)
+
+let handle_eco s deltas =
+  match F.Router.Eco.apply s.eco deltas with
+  | Ok es -> Protocol.routed_response es
+  | Error f -> Protocol.unroutable_response f
+  | exception Invalid_argument msg -> Protocol.error msg
+
+let handle_stats t =
+  match t.session with
+  | None -> Protocol.ok [ ("session", Json.Bool false); ("requests", Json.of_int t.requests) ]
+  | Some s ->
+      let circuit = F.Router.Eco.circuit s.eco in
+      let last =
+        match F.Router.Eco.last_stats s.eco with
+        | Some st -> Protocol.stats_json st
+        | None -> Json.Null
+      in
+      Protocol.ok
+        [
+          ("session", Json.Bool true);
+          ("requests", Json.of_int t.requests);
+          ("circuit", Json.Str circuit.F.Netlist.circuit_name);
+          ("nets", Json.of_int (List.length circuit.F.Netlist.nets));
+          ("width", Json.of_int s.width);
+          ("mode", Json.Str (Protocol.mode_name s.mode));
+          ("domains", Json.of_int s.domains);
+          ("checkpoints", Json.of_int (List.length s.checkpoints));
+          ("digest", Json.Str (Protocol.routing_digest (F.Router.Eco.routed s.eco)));
+          ("last", last);
+        ]
+
+(* The deltas that edit [cur] into [goal], by net name: removals first
+   (freeing their pins), then terminal changes, then additions.  Eco
+   validates the final netlist as a whole, so intermediate pin sharing
+   between a freed and a claimed pin is fine in any order. *)
+let diff_deltas (cur : F.Netlist.circuit) (goal : F.Netlist.circuit) =
+  let by_name nets =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (n : F.Netlist.net) -> Hashtbl.replace tbl n.F.Netlist.net_name n) nets;
+    tbl
+  in
+  let cur_tbl = by_name cur.F.Netlist.nets and goal_tbl = by_name goal.F.Netlist.nets in
+  let removes =
+    List.filter_map
+      (fun (n : F.Netlist.net) ->
+        if Hashtbl.mem goal_tbl n.F.Netlist.net_name then None
+        else Some (F.Router.Eco.Remove_net n.F.Netlist.net_name))
+      cur.F.Netlist.nets
+  in
+  let retimes =
+    List.filter_map
+      (fun (n : F.Netlist.net) ->
+        match Hashtbl.find_opt cur_tbl n.F.Netlist.net_name with
+        | Some old when not (F.Netlist.same_net old n) ->
+            Some (F.Router.Eco.Retime_net (n.F.Netlist.net_name, n.F.Netlist.source, n.F.Netlist.sinks))
+        | _ -> None)
+      goal.F.Netlist.nets
+  in
+  let adds =
+    List.filter_map
+      (fun (n : F.Netlist.net) ->
+        if Hashtbl.mem cur_tbl n.F.Netlist.net_name then None else Some (F.Router.Eco.Add_net n))
+      goal.F.Netlist.nets
+  in
+  removes @ retimes @ adds
+
+let handle_checkpoint s (c : Protocol.checkpoint_req) =
+  match c with
+  | Protocol.Save ->
+      let id = s.next_checkpoint in
+      s.next_checkpoint <- id + 1;
+      s.checkpoints <- (id, F.Router.Eco.circuit s.eco) :: s.checkpoints;
+      Protocol.ok [ ("id", Json.of_int id) ]
+  | Protocol.Restore id -> (
+      match List.assoc_opt id s.checkpoints with
+      | None -> Protocol.error (Printf.sprintf "no checkpoint %d" id)
+      | Some goal -> handle_eco s (diff_deltas (F.Router.Eco.circuit s.eco) goal))
+
+let dispatch t req =
+  Mutex.lock t.lock;
+  let resp =
+    match
+      match req with
+      | Protocol.Route r -> handle_route t r
+      | Protocol.Eco deltas -> (
+          match t.session with
+          | None -> Protocol.error "no session: send a \"route\" request first"
+          | Some s -> handle_eco s deltas)
+      | Protocol.Stats -> handle_stats t
+      | Protocol.Checkpoint c -> (
+          match t.session with
+          | None -> Protocol.error "no session: send a \"route\" request first"
+          | Some s -> handle_checkpoint s c)
+      | Protocol.Shutdown ->
+          t.stopping <- true;
+          Protocol.ok [ ("status", Json.Str "bye") ]
+    with
+    | resp -> resp
+    | exception e -> Protocol.error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+  in
+  t.requests <- t.requests + 1;
+  let stop_now = t.stopping in
+  Mutex.unlock t.lock;
+  (resp, stop_now)
+
+(* Wake the listener out of [Unix.accept] by connecting to ourselves; the
+   accept loop re-checks [stopping] after every accept. *)
+let poke t =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX t.path) with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error _ -> Unix.close fd)
+  | exception Unix.Unix_error _ -> ()
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let resp, stop_now =
+          match Json.of_string line with
+          | Error e -> (Protocol.error (Printf.sprintf "bad JSON: %s" e), false)
+          | Ok j -> (
+              match Protocol.parse_request j with
+              | Error e -> (Protocol.error e, false)
+              | Ok req -> dispatch t req)
+        in
+        output_string oc (Json.to_string resp);
+        output_char oc '\n';
+        flush oc;
+        if stop_now then poke t else loop ()
+  in
+  loop ();
+  (match Unix.close fd with () -> () | exception Unix.Unix_error _ -> ())
+
+let serve_forever t =
+  let rec accept_loop () =
+    let stop = Mutex.protect t.lock (fun () -> t.stopping) in
+    if not stop then begin
+      match Unix.accept t.sock with
+      | fd, _ ->
+          let th = Thread.create (fun () -> handle_conn t fd) () in
+          Mutex.protect t.lock (fun () -> t.conns <- th :: t.conns);
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  accept_loop ();
+  let conns = Mutex.protect t.lock (fun () -> t.conns) in
+  List.iter Thread.join conns;
+  Mutex.protect t.lock (fun () -> close_session t);
+  Unix.close t.sock;
+  if Sys.file_exists t.path then Sys.remove t.path
+
+let run ~socket = serve_forever (create ~socket)

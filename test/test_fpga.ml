@@ -471,6 +471,74 @@ let test_router_min_channel_width () =
         | Error _ -> ()
       end
 
+(* The bisection is confined to [1, max_width]: a cap equal to the true
+   minimum is still found (the gallop's clamped probe sequence attempts
+   max_width itself before giving up), a cap one below the minimum fails
+   the whole bracket, and a start above the cap is clamped rather than
+   trusted. *)
+let test_router_min_width_respects_cap () =
+  let circuit = tiny_circuit () in
+  let arch_of_width w = F.Arch.xc4000 ~rows:4 ~cols:5 ~channel_width:w in
+  let wmin =
+    match F.Router.min_channel_width ~arch_of_width ~circuit ~start:4 () with
+    | Some (w, _) -> w
+    | None -> Alcotest.fail "tiny circuit should route"
+  in
+  (match F.Router.min_channel_width ~arch_of_width ~circuit ~start:1 ~max_width:wmin () with
+  | Some (w, _) -> Alcotest.(check int) "cap = minimum is found" wmin w
+  | None -> Alcotest.fail "cap equal to the minimum must succeed");
+  if wmin > 1 then (
+    match F.Router.min_channel_width ~arch_of_width ~circuit ~start:1 ~max_width:(wmin - 1) () with
+    | Some (w, _) -> Alcotest.failf "reported width %d beyond cap %d" w (wmin - 1)
+    | None -> ());
+  (match
+     F.Router.min_channel_width ~arch_of_width ~circuit ~start:(wmin + 9) ~max_width:wmin ()
+   with
+  | Some (w, _) -> Alcotest.(check int) "start above cap is clamped" wmin w
+  | None -> Alcotest.fail "clamped start must still find the cap width");
+  Alcotest.check_raises "start < 1"
+    (Invalid_argument "Router.min_channel_width: start must be >= 1") (fun () ->
+      ignore (F.Router.min_channel_width ~arch_of_width ~circuit ~start:0 ()))
+
+(* Work counters are per-call: a second route on the same graph reports its
+   own (smaller) work, not the state's lifetime totals — the old cumulative
+   journal_depth high-water mark would make the second call's reading >=
+   the first's. *)
+let test_router_stats_per_call () =
+  let pin row col side slot = { F.Netlist.row; col; side; slot } in
+  let rrg = F.Rrg.build (small_arch ~w:6 ()) in
+  let first =
+    match F.Router.route rrg (tiny_circuit ()) with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "first route failed"
+  in
+  let one_net =
+    {
+      F.Netlist.circuit_name = "one";
+      rows = 4;
+      cols = 5;
+      nets =
+        [
+          F.Netlist.make_net ~name:"d" ~source:(pin 2 0 F.Rrg.South 0)
+            ~sinks:[ pin 2 1 F.Rrg.South 0 ];
+        ];
+    }
+  in
+  match F.Router.route rrg one_net with
+  | Error _ -> Alcotest.fail "second route failed"
+  | Ok second ->
+      Alcotest.(check bool) "second call counts its own searches" true
+        (second.F.Router.dijkstra_runs > 0
+        && second.F.Router.dijkstra_runs < first.F.Router.dijkstra_runs);
+      Alcotest.(check bool) "second call settles its own nodes" true
+        (second.F.Router.settled_nodes > 0
+        && second.F.Router.settled_nodes < first.F.Router.settled_nodes);
+      Alcotest.(check bool) "journal peak is per-call" true
+        (second.F.Router.journal_depth > 0
+        && second.F.Router.journal_depth < first.F.Router.journal_depth);
+      Alcotest.(check bool) "mutations are per-call" true
+        (second.F.Router.mutations > 0 && second.F.Router.mutations < first.F.Router.mutations)
+
 let test_router_strategies_agree_on_feasibility () =
   let circuit = tiny_circuit () in
   List.iter
@@ -753,6 +821,8 @@ let () =
           Alcotest.test_case "unspanned sink raises" `Quick test_max_path_unspanned_sink_raises;
           Alcotest.test_case "targeted = full" `Quick test_router_targeted_matches_full;
           Alcotest.test_case "min channel width" `Quick test_router_min_channel_width;
+          Alcotest.test_case "min width respects cap" `Quick test_router_min_width_respects_cap;
+          Alcotest.test_case "stats are per-call" `Quick test_router_stats_per_call;
           Alcotest.test_case "all strategies" `Quick test_router_strategies_agree_on_feasibility;
           Alcotest.test_case "two-pin wastes wire" `Quick test_router_two_pin_uses_more_wire;
           Alcotest.test_case "mismatched circuit" `Quick test_router_rejects_mismatched_circuit;

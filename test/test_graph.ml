@@ -890,6 +890,68 @@ let prop_gstate_rollback_restores =
       G.Gstate.rollback g cp;
       restored && depth_ok && monotone !vers && snapshot () = want)
 
+(* Journal rollback across Cost_model.apply epoch boundaries: pricing
+   writes are ordinary journaled mutations, so a checkpoint taken before a
+   priced sequence restores the exact weight vector (and hence search
+   results) no matter how many epochs the sequence crossed — and replaying
+   the same sequence on a fresh graph reproduces the post-sequence weights
+   bit-for-bit. *)
+let prop_rollback_across_cost_epochs =
+  QCheck.Test.make ~name:"rollback across Cost_model.apply epochs" ~count:50
+    QCheck.(pair (int_range 0 1000) (int_range 1 12))
+    (fun (seed, n_ops) ->
+      let n = 15 in
+      let build s =
+        let rng = Rng.make s in
+        G.Random_graph.connected rng ~n ~m:(3 * n) ~wmin:0.5 ~wmax:4.
+      in
+      let g = build seed in
+      let ne = G.Gstate.num_edges g in
+      (* Generate the op script as data so both runs see the same ops. *)
+      let rng = Rng.make (seed + 7919) in
+      let script =
+        List.init n_ops (fun _ ->
+            match Rng.int rng 3 with
+            | 0 -> `Use (List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng n))
+            | 1 -> `Escalate
+            | _ -> `Apply)
+        @ [ `Apply ] (* always cross at least one epoch boundary *)
+      in
+      let run g =
+        let cm = G.Cost_model.create g in
+        List.iter
+          (function
+            | `Use nodes -> G.Cost_model.use_nodes cm nodes
+            | `Escalate -> G.Cost_model.escalate cm
+            | `Apply -> G.Cost_model.apply cm)
+          script;
+        cm
+      in
+      let acct cm =
+        (Array.init n (G.Cost_model.usage cm), Array.init n (G.Cost_model.history cm))
+      in
+      let w0 = Array.init ne (G.Gstate.weight g) in
+      let dist0 = Array.init n (G.Dijkstra.dist (G.Dijkstra.run g ~src:0)) in
+      let cp = G.Gstate.checkpoint g in
+      let depth0 = G.Gstate.journal_depth g in
+      let cm = run g in
+      let epochs = G.Cost_model.epoch cm in
+      let w1 = Array.init ne (G.Gstate.weight g) in
+      let acct1 = acct cm in
+      G.Gstate.rollback g cp;
+      let restored_w = Array.init ne (G.Gstate.weight g) = w0 in
+      let restored_d = Array.init n (G.Dijkstra.dist (G.Dijkstra.run g ~src:0)) = dist0 in
+      (* Rollback touches only the graph: the model's accounting is not
+         journaled state and must be exactly what the sequence left. *)
+      let acct_kept = acct cm = acct1 in
+      let g2 = build seed in
+      let cm2 = run g2 in
+      let replayed = Array.init (G.Gstate.num_edges g2) (G.Gstate.weight g2) = w1 in
+      let replayed_acct = acct cm2 = acct1 && G.Cost_model.epoch cm2 = epochs in
+      epochs >= 1 && restored_w && restored_d && acct_kept
+      && G.Gstate.journal_depth g = depth0
+      && replayed && replayed_acct)
+
 let () =
   Alcotest.run "fr_graph"
     [
@@ -914,6 +976,7 @@ let () =
         [
           Alcotest.test_case "checkpoint/rollback/commit" `Quick test_gstate_checkpoint_basics;
           QCheck_alcotest.to_alcotest prop_gstate_rollback_restores;
+          QCheck_alcotest.to_alcotest prop_rollback_across_cost_epochs;
         ] );
       ("dsu", [ Alcotest.test_case "union/find" `Quick test_dsu ]);
       ( "wgraph",
